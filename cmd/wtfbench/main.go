@@ -1,0 +1,136 @@
+// Command wtfbench regenerates the paper's evaluation figures (§5 of
+// "Investigating the Semantics of Futures in Transactional Memory Systems",
+// PPoPP'21) on the local host and prints one table per figure.
+//
+// Usage:
+//
+//	wtfbench [flags]
+//
+//	-exp string    experiment: all|fig3|fig6left|fig6right|fig7|fig8|fig9|intruder|kmeans|segments|ablation (default "all")
+//	-quick         run the scaled-down grids (default true; -quick=false uses paper-scale parameters)
+//	-duration d    measurement window per data point (default 1s; quick: 250ms)
+//	-array n       size of the read array (paper: 1000000)
+//	-unit d        nominal cost of one "iter" of emulated work (default 200ns)
+//	-mode string   work emulation: latency|busy (default latency; busy needs real cores)
+//	-v             per-point progress output
+//	-json          emit results as JSON objects instead of tables
+//
+// Absolute throughput depends on the host; the tables reproduce the paper's
+// comparative shapes (see EXPERIMENTS.md for the expected shapes and the
+// paper-vs-measured record).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"wtftm/internal/bench"
+	"wtftm/internal/spin"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: all|fig3|fig6left|fig6right|fig7|fig8|fig9|intruder|kmeans|segments|ablation")
+		quick    = flag.Bool("quick", true, "scaled-down grids (set -quick=false for paper-scale parameters)")
+		duration = flag.Duration("duration", 0, "measurement window per data point (0 = preset default)")
+		array    = flag.Int("array", 0, "read array size (0 = preset default; paper: 1000000)")
+		unit     = flag.Duration("unit", 200*time.Nanosecond, "nominal cost of one iter of emulated work")
+		mode     = flag.String("mode", "latency", "work emulation: latency|busy")
+		verbose  = flag.Bool("v", false, "per-point progress output")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON objects instead of tables")
+	)
+	flag.Parse()
+
+	cfg := bench.Default()
+	if *quick {
+		cfg = bench.Quick()
+		cfg.Duration = 250 * time.Millisecond
+	}
+	if *duration > 0 {
+		cfg.Duration = *duration
+	}
+	if *array > 0 {
+		cfg.ArraySize = *array
+	}
+	cfg.Worker.Unit = *unit
+	switch *mode {
+	case "latency":
+		cfg.Worker.Mode = spin.Latency
+	case "busy":
+		cfg.Worker.Mode = spin.Busy
+	default:
+		fmt.Fprintf(os.Stderr, "wtfbench: unknown -mode %q\n", *mode)
+		os.Exit(2)
+	}
+	cfg.Out = os.Stdout
+	cfg.Verbose = *verbose
+
+	banner := os.Stdout
+	if *jsonOut {
+		banner = os.Stderr
+	}
+	fmt.Fprintf(banner, "wtfbench: exp=%s quick=%v duration=%v array=%d work=%s/%v\n\n",
+		*exp, *quick, cfg.Duration, cfg.ArraySize, cfg.Worker.Mode, *unit)
+
+	type printer interface{ Print(io.Writer) }
+	emit := func(name string, res printer) error {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			return enc.Encode(map[string]any{"experiment": name, "result": res})
+		}
+		res.Print(os.Stdout)
+		return nil
+	}
+	run := func(name string, fn func() (printer, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		res, err := fn()
+		if err == nil {
+			err = emit(name, res)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wtfbench: %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		if !*jsonOut {
+			fmt.Printf("\n[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	run("fig3", func() (printer, error) {
+		return bench.RunFig3(cfg, bench.DefaultFig3(*quick))
+	})
+	run("fig6left", func() (printer, error) {
+		return bench.RunFig6Left(cfg, bench.DefaultFig6Left(*quick))
+	})
+	run("fig6right", func() (printer, error) {
+		return bench.RunFig6Right(cfg, bench.DefaultFig6Right(*quick))
+	})
+	run("fig7", func() (printer, error) {
+		return bench.RunFig7(cfg, bench.DefaultFig7(*quick))
+	})
+	run("fig8", func() (printer, error) {
+		return bench.RunFig8(cfg, bench.DefaultFig8(*quick))
+	})
+	run("fig9", func() (printer, error) {
+		return bench.RunFig9(cfg, bench.DefaultFig9(*quick))
+	})
+	run("intruder", func() (printer, error) {
+		return bench.RunIntruder(cfg, bench.DefaultIntruder(*quick))
+	})
+	run("kmeans", func() (printer, error) {
+		return bench.RunKMeans(cfg, bench.DefaultKMeans(*quick))
+	})
+	run("segments", func() (printer, error) {
+		return bench.RunSegments(cfg, bench.DefaultSegments(*quick))
+	})
+	run("ablation", func() (printer, error) {
+		return bench.RunAblation(cfg)
+	})
+}

@@ -1,0 +1,101 @@
+// Cart: the e-commerce scenario of the paper's §3.3 — escaping futures under
+// GAC (globally atomic continuation) semantics.
+//
+// Adding an item to the cart runs a transaction that updates the cart and
+// spawns a future computing shipping costs across sellers. To hide latency,
+// the add-to-cart transaction commits *without* waiting for the quote: under
+// GAC the future escapes and is serialized only when the checkout
+// transaction finally evaluates it. If any relevant price changed in
+// between, the escaped future's reads fail validation and it transparently
+// re-executes against current data — the whole purchase stays atomic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wtftm"
+)
+
+type quote struct {
+	Seller string
+	Cost   int
+}
+
+func main() {
+	stm := wtftm.NewSTM()
+	sys := wtftm.NewSystem(stm, wtftm.Options{Ordering: wtftm.WO, Atomicity: wtftm.GAC})
+
+	// Catalog: shipping fee per seller; the cart; the pending quote future.
+	fees := map[string]wtftm.Box[int]{
+		"acme":  wtftm.NewBoxNamed(stm, "fee.acme", 12),
+		"bolt":  wtftm.NewBoxNamed(stm, "fee.bolt", 9),
+		"corex": wtftm.NewBoxNamed(stm, "fee.corex", 15),
+	}
+	cart := wtftm.NewBoxNamed(stm, "cart", []string(nil))
+	pendingQuote := wtftm.NewBoxNamed[*wtftm.Future](stm, "pendingQuote", nil)
+	orderTotal := wtftm.NewBoxNamed(stm, "orderTotal", 0)
+
+	// --- Transaction 1: add to cart; spawn the quote; commit immediately.
+	start := time.Now()
+	err := sys.Atomic(func(tx *wtftm.Tx) error {
+		cart.Write(tx, append(cart.Read(tx), "widget"))
+
+		f := tx.Submit(func(ftx *wtftm.Tx) (any, error) {
+			// "Contact" each seller: slow, overlaps with the user's
+			// shopping; reads the fees transactionally so a later fee
+			// change invalidates (and re-runs) the quote.
+			best := quote{Cost: 1 << 30}
+			for seller, fee := range fees {
+				time.Sleep(5 * time.Millisecond)
+				if c := fee.Read(ftx); c < best.Cost {
+					best = quote{Seller: seller, Cost: c}
+				}
+			}
+			return best, nil
+		})
+		pendingQuote.Write(tx, f)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("add-to-cart committed in %v (did not wait for the quote)\n",
+		time.Since(start).Round(time.Millisecond))
+
+	// Meanwhile, a seller changes its shipping fee: the escaped future's
+	// reads become stale, so checkout will transparently re-execute it.
+	err = sys.Atomic(func(tx *wtftm.Tx) error {
+		fees["bolt"].Write(tx, 20) // bolt is no longer the cheapest
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("seller 'bolt' raised its fee to 20 before checkout")
+
+	// --- Transaction 2: checkout evaluates the escaped future.
+	err = sys.Atomic(func(tx *wtftm.Tx) error {
+		f := pendingQuote.Read(tx)
+		v, err := tx.Evaluate(f)
+		if err != nil {
+			return err
+		}
+		q := v.(quote)
+		fmt.Printf("checkout: best shipping is %q at %d\n", q.Seller, q.Cost)
+		orderTotal.Write(tx, 100+q.Cost) // item price + shipping
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	txn := stm.Begin()
+	defer txn.Discard()
+	fmt.Printf("order total = %d (want 112: widget 100 + acme 12)\n", orderTotal.Read(txn))
+
+	s := sys.Stats().Snapshot()
+	fmt.Printf("escaped futures: %d, stale re-executions at evaluation: %d\n",
+		s.EscapedFutures, s.EscapeReexecs)
+}

@@ -1,0 +1,3 @@
+module wtftm
+
+go 1.24

@@ -1,0 +1,119 @@
+package bank
+
+import (
+	"sync"
+	"testing"
+
+	"wtftm/internal/core"
+	"wtftm/internal/mvstm"
+	"wtftm/internal/workload"
+)
+
+func TestGenerateLogMix(t *testing.T) {
+	rng := workload.NewRNG(1)
+	log := GenerateLog(rng, 1000, 50, 4, 100)
+	if len(log) != 1000 {
+		t.Fatalf("len = %d", len(log))
+	}
+	transfers := 0
+	for _, e := range log {
+		if e.Kind == Transfer {
+			transfers++
+			if len(e.From) != 4 || len(e.To) != 4 {
+				t.Fatalf("bad pair count: %+v", e)
+			}
+			for _, a := range append(append([]int{}, e.From...), e.To...) {
+				if a < 0 || a >= 100 {
+					t.Fatalf("account out of range: %d", a)
+				}
+			}
+		}
+	}
+	if transfers < 400 || transfers > 600 {
+		t.Fatalf("transfers = %d, want ~500", transfers)
+	}
+}
+
+func TestApplyTransferConserves(t *testing.T) {
+	stm := mvstm.New()
+	b := New(stm, 10, 100)
+	txn := stm.Begin()
+	e := LogEntry{Kind: Transfer, From: []int{0, 1}, To: []int{2, 3}, Amount: 5}
+	b.Apply(txn, e, nil)
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Total(stm); got != b.ExpectedTotal() {
+		t.Fatalf("total = %d, want %d", got, b.ExpectedTotal())
+	}
+	check := stm.Begin()
+	defer check.Discard()
+	if got := check.Read(bBox(b, 0)); got != 95 {
+		t.Fatalf("acct0 = %v", got)
+	}
+	if got := check.Read(bBox(b, 2)); got != 105 {
+		t.Fatalf("acct2 = %v", got)
+	}
+}
+
+func bBox(b *Bank, i int) *mvstm.VBox { return b.accounts[i] }
+
+func TestGetTotalSeesInvariant(t *testing.T) {
+	stm := mvstm.New()
+	b := New(stm, 50, 10)
+	txn := stm.Begin()
+	defer txn.Discard()
+	if got := b.Apply(txn, LogEntry{Kind: GetTotal}, nil); got != 500 {
+		t.Fatalf("total = %d", got)
+	}
+}
+
+// TestReplayWithFuturesInvariant replays a contended log through the
+// futures engine and checks the bank invariant — the benchmark's built-in
+// sanity check.
+func TestReplayWithFuturesInvariant(t *testing.T) {
+	for _, ord := range []core.Ordering{core.WO, core.SO} {
+		t.Run(ord.String(), func(t *testing.T) {
+			stm := mvstm.New()
+			sys := core.New(stm, core.Options{Ordering: ord, Atomicity: core.LAC})
+			b := New(stm, 32, 100)
+			rng := workload.NewRNG(99)
+			log := GenerateLog(rng, 40, 60, 3, 32)
+
+			var wg sync.WaitGroup
+			chunk := 10
+			for c := 0; c < len(log); c += chunk {
+				wg.Add(1)
+				go func(entries []LogEntry) {
+					defer wg.Done()
+					err := sys.Atomic(func(tx *core.Tx) error {
+						var futs []*core.Future
+						for _, e := range entries {
+							e := e
+							futs = append(futs, tx.Submit(func(ftx *core.Tx) (any, error) {
+								return b.Apply(ftx, e, nil), nil
+							}))
+						}
+						for _, f := range futs {
+							v, err := tx.Evaluate(f)
+							if err != nil {
+								return err
+							}
+							if n, ok := v.(int); ok && n != 0 && n != b.ExpectedTotal() {
+								t.Errorf("getTotal inside txn = %d, want %d", n, b.ExpectedTotal())
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						t.Error(err)
+					}
+				}(log[c:min(c+chunk, len(log))])
+			}
+			wg.Wait()
+			if got := b.Total(stm); got != b.ExpectedTotal() {
+				t.Fatalf("final total = %d, want %d", got, b.ExpectedTotal())
+			}
+		})
+	}
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"wtftm/internal/workload"
+)
+
+// tiny returns a configuration that completes in tens of milliseconds.
+func tiny() Config {
+	cfg := Quick()
+	cfg.Duration = 25 * time.Millisecond
+	cfg.ArraySize = 512
+	cfg.Worker.Unit = 100 * time.Nanosecond
+	return cfg
+}
+
+func TestMeasureCountsOps(t *testing.T) {
+	ops, el, err := measure(3, 30*time.Millisecond, func(_ int, _ *workload.RNG) (int, error) {
+		time.Sleep(time.Millisecond)
+		return 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops < 6 {
+		t.Fatalf("ops = %d, want >= 6", ops)
+	}
+	if el < 30*time.Millisecond {
+		t.Fatalf("elapsed = %v", el)
+	}
+}
+
+func TestMeasurePropagatesError(t *testing.T) {
+	_, _, err := measure(2, 20*time.Millisecond, func(w int, _ *workload.RNG) (int, error) {
+		if w == 1 {
+			return 0, errBench
+		}
+		time.Sleep(time.Millisecond)
+		return 1, nil
+	})
+	if err != errBench {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errBench = timeoutError{}
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string { return "bench test error" }
+
+func TestTablePrint(t *testing.T) {
+	tb := newTable("a", "long-header")
+	tb.add("1", "2")
+	tb.add("333", "4")
+	var buf bytes.Buffer
+	tb.print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "long-header") || !strings.Contains(out, "333") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("expected 4 lines:\n%s", out)
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	p := DefaultFig3(true)
+	p.Rounds = 2
+	p.TaskIters = 16
+	res, err := RunFig3(tiny(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanWO <= 0 || res.MakespanSO <= 0 {
+		t.Fatalf("makespans = %v / %v", res.MakespanWO, res.MakespanSO)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "straggler") {
+		t.Fatalf("print output:\n%s", buf.String())
+	}
+}
+
+func TestRunFig6Left(t *testing.T) {
+	p := Fig6LeftParams{TxnLens: []int{8}, Iters: []int{0, 4}, TopLevels: 2, Futures: 4}
+	res, err := RunFig6Left(tiny(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.SpeedupWTF <= 0 || pt.SpeedupNT <= 0 {
+			t.Fatalf("non-positive speedup: %+v", pt)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "WTF-TM") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestRunFig6Right(t *testing.T) {
+	p := Fig6RightParams{
+		TotalThreads: 4, Splits: [][2]int{{2, 2}}, ReadLens: []int{4},
+		Iter: 2, HotSpots: 8, WritesPerFuture: 2,
+	}
+	res, err := RunFig6Right(tiny(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 { // WTF + JTF
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "JVSTM") {
+		t.Fatal("missing normalization note")
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	p := Fig7Params{
+		Threads:        []int{2},
+		Contention:     []ContentionLevel{{"high", 4}},
+		ReadsPerFuture: 4,
+		Iter:           2,
+	}
+	res, err := RunFig7(tiny(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 { // JVSTM, WTF, JTF
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.TopAbortRate < 0 || pt.TopAbortRate > 1 || pt.InternalAbortRate < 0 || pt.InternalAbortRate > 1 {
+			t.Fatalf("rate out of range: %+v", pt)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 7b") {
+		t.Fatal("missing abort table")
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	p := Fig8Params{
+		Threads: []int{2}, UpdatePcts: []int{50}, Accounts: 64,
+		PairsPerTransfer: 2, ChunkFactor: 2, Iter: 1, TopLevels: 2,
+	}
+	res, err := RunFig8(tiny(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "WTF-OutOfOrder") {
+		t.Fatal("missing variant")
+	}
+}
+
+func TestRunFig9(t *testing.T) {
+	p := Fig9Params{
+		Clients: []int{1}, Futures: []int{2}, JVSTMClients: []int{1},
+		Relations: 32, QueryPct: 10, QueriesPerTxn: 6, Iter: 1,
+		StragglerPct: 20, StragglerDelay: time.Millisecond, Customers: 8,
+	}
+	res, err := RunFig9(tiny(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 { // JVSTM@1, WTF, JTF
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Vacation") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	res, err := RunAblation(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LAC must block on the running escapee; GAC must not.
+	if res.LACCommitLatency < 4*time.Millisecond {
+		t.Fatalf("LAC commit latency = %v, expected to block ~5ms", res.LACCommitLatency)
+	}
+	if res.GACCommitLatency > res.LACCommitLatency {
+		t.Fatalf("GAC (%v) slower than LAC (%v)", res.GACCommitLatency, res.LACCommitLatency)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "LAC") {
+		t.Fatal("missing ablation rows")
+	}
+}

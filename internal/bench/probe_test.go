@@ -1,0 +1,16 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProbeNTvsWTF(t *testing.T) {
+	cfg := Quick()
+	cfg.Duration = 300 * time.Millisecond
+	p := Fig6LeftParams{TxnLens: []int{64}, Iters: []int{4}, TopLevels: 2, Futures: 8}
+	nt, _ := fig6LeftNT(cfg, p, 64, 4)
+	wtf, _ := fig6LeftWTF(cfg, p, 64, 4)
+	base, _ := fig6LeftBaseline(cfg, p, 64, 4)
+	t.Logf("nt=%.0f wtf=%.0f base=%.0f", nt, wtf, base)
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wtftm/internal/history"
+	"wtftm/internal/mvstm"
+)
+
+// futState is the lifecycle state of a Future. Transitions happen under the
+// spawning top-level transaction's graph lock (or under f.mu for cross-top
+// transitions after that transaction committed).
+type futState int32
+
+const (
+	// fRunning: the body is executing.
+	fRunning futState = iota
+	// fParked: the body completed but the future could not serialize at its
+	// submission point; it waits, invisible, for an evaluation (WO only).
+	fParked
+	// fMerged: the future serialized (at submission or evaluation) and its
+	// result is final within its enclosing transaction.
+	fMerged
+	// fReexecuting: a conflicting parked future is being re-executed at an
+	// evaluation point.
+	fReexecuting
+	// fFailed: an SO future whose continuation read its writes; the
+	// top-level transaction is aborting.
+	fFailed
+	// fUserAborted: the body returned a non-nil error (program-requested
+	// abort); its updates are discarded.
+	fUserAborted
+	// fStale: the spawning top-level transaction attempt aborted; the
+	// future can never serialize.
+	fStale
+)
+
+var errSOConflict = errors.New("core: continuation read data written by a strongly ordered future")
+
+// Future is a handle to a transactional future. It is created by Tx.Submit
+// and redeemed by Tx.Evaluate. A Future may be evaluated any number of
+// times; every evaluation returns the result of the single committed
+// execution of the body (§3.2).
+type Future struct {
+	sys  *System
+	top  *topTx
+	id   int
+	flow int
+	body func(*Tx) (any, error)
+
+	// vertex is the first vertex of the body's chain; cont is the
+	// continuation vertex created alongside it. Guarded by top.mu.
+	vertex *vertex
+	cont   *vertex
+
+	// prevInFlow is the previously submitted future of the same spawning
+	// flow; under SO semantics this future's merge waits for it (the
+	// paper's straggler effect, Fig. 3).
+	prevInFlow *Future
+
+	// submitSegment is the AtomicSegments segment this future was submitted
+	// in (0 outside segmented transactions).
+	submitSegment int
+
+	// execDone closes when the body's first execution finishes; settled
+	// closes when the engine classified that execution (merged, parked,
+	// failed, aborted or stale).
+	execDone chan struct{}
+	settled  chan struct{}
+
+	// invalid marks a pending future whose observed ancestor state was
+	// discarded (its spawning chain was itself discarded); it must
+	// re-execute at evaluation.
+	invalid atomic.Bool
+
+	// extraPathWrites accumulates the boxes whose writes are logically
+	// ordered between this future's observation point and its current
+	// position in G (they arise when the spawning chain merges away and the
+	// future is re-rooted). Both validations treat them as concurrent
+	// writes. Guarded by top.mu.
+	extraPathWrites map[*mvstm.VBox]struct{}
+
+	state  atomic.Int32
+	result any   // body result; final once state is fMerged
+	err    error // body error; set with state fUserAborted
+
+	// reexecCh is non-nil while state is fReexecuting and closes when the
+	// re-execution finished. Guarded by top.mu.
+	reexecCh chan struct{}
+
+	// Cross-top (GAC) evaluation coordination. Guarded by mu.
+	mu       sync.Mutex
+	detach   *detachRec
+	claimant *topTx
+	claimCh  chan struct{}
+	final    bool
+}
+
+func (f *Future) name() string { return fmt.Sprintf("T%d.F%d", f.top.id, f.id) }
+
+// Done returns a channel that closes when the future's body has finished
+// executing. Benchmark harnesses use it to evaluate futures out of order as
+// soon as they complete (the WTF-TM-OutOfOrder variant of §5.3).
+func (f *Future) Done() <-chan struct{} { return f.execDone }
+
+// addExtraPathWrites accumulates relocation writes. Caller holds top.mu.
+func (f *Future) addExtraPathWrites(boxes map[*mvstm.VBox]struct{}) {
+	if len(boxes) == 0 {
+		return
+	}
+	if f.extraPathWrites == nil {
+		f.extraPathWrites = make(map[*mvstm.VBox]struct{}, len(boxes))
+	}
+	for b := range boxes {
+		f.extraPathWrites[b] = struct{}{}
+	}
+}
+
+func (f *Future) getState() futState  { return futState(f.state.Load()) }
+func (f *Future) setState(s futState) { f.state.Store(int32(s)) }
+func (f *Future) invalidate()         { f.invalid.Store(true) }
+func (f *Future) isInvalidated() bool { return f.invalid.Load() }
+
+// run executes the body on its own goroutine and then classifies the
+// execution (the paper's future commit protocol).
+func (f *Future) run() {
+	tx := &Tx{top: f.top, cur: f.vertex}
+	f.sys.record(history.Op{Top: f.top.id, Flow: f.flow, Kind: history.FutureBegin, Arg: f.name()})
+	res, err, retry := runBody(f.body, tx)
+	close(f.execDone)
+	defer func() {
+		close(f.settled)
+		f.top.settleOne()
+	}()
+
+	if retry != nil || f.top.aborted.Load() {
+		f.setState(fStale)
+		return
+	}
+	if err != nil {
+		f.top.mu.Lock()
+		f.top.discardChain(f.vertex)
+		f.err = err
+		f.setState(fUserAborted)
+		f.top.mu.Unlock()
+		f.sys.record(history.Op{Top: f.top.id, Flow: f.flow, Kind: history.FutureAbort, Arg: f.name()})
+		return
+	}
+
+	// Under SO semantics futures serialize at submission in submission
+	// order within their flow: wait for the previous sibling to settle so a
+	// straggler stalls its successors, exactly as in JTF.
+	if f.sys.opts.Ordering == SO {
+		for p := f.prevInFlow; p != nil; p = nil {
+			select {
+			case <-p.settled:
+			case <-f.top.abortCh:
+				f.setState(fStale)
+				return
+			}
+		}
+	}
+
+	top := f.top
+	top.mu.Lock()
+	defer top.mu.Unlock()
+	if top.aborted.Load() {
+		f.setState(fStale)
+		return
+	}
+	if top.phaseAtLeast(phaseFolding) {
+		// The top-level transaction is already folding its write set (GAC):
+		// this future can no longer serialize at submission and must escape.
+		f.result = res
+		f.setState(fParked)
+		return
+	}
+	if f.isInvalidated() || f.vertex.removed() {
+		// The spawning chain was discarded: this execution is cancelled and
+		// can never serialize.
+		f.setState(fParked)
+		return
+	}
+	f.result = res
+	canMergeAtSubmission := !forwardConflicts(f.cont, chainWriteBoxes(f.vertex), f.vertex) &&
+		!intersects(chainReadBoxes(f.vertex, f.flow), f.extraPathWrites)
+	if canMergeAtSubmission {
+		top.mergeChain(f.vertex, f.vertex.pred, nil)
+		f.setState(fMerged)
+		f.sys.stats.MergedAtSubmission.Add(1)
+		f.sys.record(history.Op{Top: top.id, Flow: f.flow, Kind: history.FutureMerge, Arg: "submission"})
+		return
+	}
+	if f.sys.opts.Ordering == SO {
+		// A continuation sub-transaction observed state this future is about
+		// to overwrite: under SO the continuation must abort. With
+		// AtomicSegments only the segments from this future's submission
+		// point replay (partial continuation rollback); plain Atomic retries
+		// the whole transaction since Go lacks first-class continuations
+		// (see DESIGN.md, substitutions).
+		f.setState(fFailed)
+		f.sys.stats.TopInternal.Add(1)
+		if top.segMode {
+			top.requestRollback(f.submitSegment)
+		} else {
+			top.requestAbort(errSOConflict)
+		}
+		return
+	}
+	f.setState(fParked)
+}
+
+// runBody executes a transaction body, converting the package's control-flow
+// panics back into values. Arbitrary panics from user code are captured as
+// errors so a failing future aborts instead of crashing the process.
+func runBody(body func(*Tx) (any, error), tx *Tx) (res any, err error, retry *retrySignal) {
+	defer func() {
+		r := recover()
+		switch r := r.(type) {
+		case nil:
+		case *retrySignal:
+			retry = r
+		case *userAbort:
+			err = r.err
+		default:
+			err = fmt.Errorf("core: transaction body panicked: %v", r)
+		}
+	}()
+	res, err = body(tx)
+	return
+}
+
+// evaluateLocal implements Evaluate for a future of the caller's own
+// top-level transaction.
+func (tx *Tx) evaluateLocal(f *Future) (any, error) {
+	top := tx.top
+	for {
+		tx.await(f.settled)
+		top.mu.Lock()
+		if top.aborted.Load() {
+			top.mu.Unlock()
+			panic(&retrySignal{cause: top.abortCause()})
+		}
+		switch f.getState() {
+		case fUserAborted:
+			top.mu.Unlock()
+			return nil, f.err
+
+		case fFailed, fStale:
+			top.mu.Unlock()
+			if top.segMode && f.getState() == fFailed {
+				panic(&segSignal{to: f.submitSegment})
+			}
+			panic(&retrySignal{cause: errSOConflict})
+
+		case fMerged:
+			// Idempotent repeated evaluation: return the memoized result.
+			// The evaluation is still a sub-transaction boundary.
+			tx.boundaryLocked()
+			top.mu.Unlock()
+			return f.result, nil
+
+		case fReexecuting:
+			ch := f.reexecCh
+			top.mu.Unlock()
+			tx.await(ch)
+			continue
+
+		case fParked:
+			if f.isInvalidated() {
+				// The future's spawning chain was discarded (e.g. its spawner
+				// aborted): it is cancelled and can never serialize.
+				top.mu.Unlock()
+				return nil, ErrStaleFuture
+			}
+			{
+				reads := chainReadBoxes(f.vertex, f.flow)
+				conflict, ok := backwardConflicts(tx.cur, f.vertex.pred, reads)
+				if ok && !conflict && !intersects(reads, f.extraPathWrites) {
+					// Serialize at the evaluation point: merge the chain into
+					// the evaluator's (iCommitting) sub-transaction.
+					cur := tx.cur
+					cur.status = vICommitted
+					top.mergeChain(f.vertex, cur, cur)
+					next := top.newVertex(cur.flow, cur)
+					tx.cur = next
+					top.gver++
+					f.setState(fMerged)
+					f.sys.stats.MergedAtEvaluation.Add(1)
+					f.sys.record(history.Op{Top: top.id, Flow: f.flow, Kind: history.FutureMerge, Arg: "evaluation"})
+					top.mu.Unlock()
+					return f.result, nil
+				}
+			}
+			// The future read state that concurrent sub-transactions
+			// overwrote (or its ancestors were discarded): abort it and
+			// re-execute at the evaluation point, where it trivially
+			// serializes.
+			f.setState(fReexecuting)
+			f.reexecCh = make(chan struct{})
+			top.discardChain(f.vertex)
+			top.mu.Unlock()
+
+			f.sys.stats.FutureReexecutions.Add(1)
+			f.sys.record(history.Op{Top: top.id, Flow: f.flow, Kind: history.FutureAbort, Arg: f.name()})
+			res, err := tx.runInline(f.body, f.name())
+
+			top.mu.Lock()
+			if err != nil {
+				f.err = err
+				f.setState(fUserAborted)
+				f.sys.record(history.Op{Top: top.id, Flow: f.flow, Kind: history.FutureAbort, Arg: f.name()})
+			} else {
+				f.result = res
+				f.setState(fMerged)
+				f.sys.stats.MergedAtEvaluation.Add(1)
+				f.sys.record(history.Op{Top: top.id, Flow: f.flow, Kind: history.FutureMerge, Arg: "evaluation"})
+			}
+			close(f.reexecCh)
+			f.reexecCh = nil
+			top.mu.Unlock()
+			return res, err
+
+		default:
+			top.mu.Unlock()
+			panic(fmt.Sprintf("core: future %s settled in state %d", f.name(), f.getState()))
+		}
+	}
+}
+
+// boundaryLocked iCommits the current sub-transaction and starts a new one
+// in the same flow. Caller holds top.mu.
+func (tx *Tx) boundaryLocked() {
+	cur := tx.cur
+	cur.status = vICommitted
+	tx.cur = tx.top.newVertex(cur.flow, cur)
+	tx.top.gver++
+}
+
+// runInline executes body synchronously as a fresh sub-transaction chain
+// positioned at the caller's current point (used to re-execute conflicting
+// futures at their evaluation point). On success the chain is left
+// iCommitted on the caller's predecessor path; on a body error it is
+// discarded.
+func (tx *Tx) runInline(body func(*Tx) (any, error), label string) (any, error) {
+	top := tx.top
+	top.mu.Lock()
+	cur := tx.cur
+	cur.status = vICommitted
+	rv := top.newVertex(top.nextFlow(), cur)
+	// Splice the inline chain into the evaluator's same-flow chain links so
+	// that, if the evaluator is itself a future, its eventual merge folds
+	// the re-execution's effects too (chain() follows next pointers).
+	cur.next = rv
+	top.gver++
+	top.mu.Unlock()
+
+	f := top.sys
+	f.record(history.Op{Top: top.id, Flow: rv.flow, Kind: history.FutureBegin, Arg: label})
+	sub := &Tx{top: top, cur: rv}
+	res, err, retry := runBody(body, sub)
+	if retry != nil {
+		panic(retry)
+	}
+
+	top.mu.Lock()
+	if err != nil {
+		top.discardChain(rv)
+		tx.cur = top.newVertex(cur.flow, cur) // also re-points cur.next
+	} else {
+		tail := sub.cur
+		tail.status = vICommitted
+		next := top.newVertex(cur.flow, tail)
+		tail.next = next // cross-flow chain splice (see above)
+		tx.cur = next
+	}
+	top.gver++
+	top.mu.Unlock()
+	return res, err
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"sync"
+
+	"wtftm/internal/history"
+	"wtftm/internal/mvstm"
+)
+
+// vstatus is the lifecycle state of a sub-transaction vertex in G.
+type vstatus int
+
+const (
+	// vActive: the owning flow is still executing inside this vertex.
+	vActive vstatus = iota
+	// vCompleted: a future body finished but could not serialize at
+	// submission; its updates stay invisible until evaluation ("completed
+	// but not iCommitted" in §4.1).
+	vCompleted
+	// vICommitted: the vertex's updates are visible to the sub-transactions
+	// serialized after it within the same top-level transaction.
+	vICommitted
+	// vRemoved: the vertex was merged away when its future serialized.
+	vRemoved
+)
+
+// readObs describes the source a read observed. Exactly one of ver (a
+// committed version, read from the top-level snapshot) or {flow, wid} (an
+// uncommitted write of a sub-transaction) identifies the origin.
+type readObs struct {
+	val  any
+	ver  *mvstm.Version // non-nil: observed a committed version
+	flow int            // origin flow of the observed sub-transaction write
+	wid  int64          // unique id of the observed sub-transaction write
+}
+
+// writeEntry is one buffered write held by a vertex. Merges preserve the
+// origin flow and write id so GAC detach records can resolve what a
+// detached future actually observed.
+type writeEntry struct {
+	val  any
+	wid  int64
+	flow int
+}
+
+// vertex is a node of the per-top-level-transaction graph G: one
+// sub-transaction, delimited by submit/evaluate boundaries.
+type vertex struct {
+	id   int
+	flow int // logical thread of control (0 = main flow, one per future)
+	top  *topTx
+
+	// Topology, guarded by top.mu. pred is the unique predecessor (the
+	// construction never creates backward bifurcations — see footnote 1 of
+	// the paper); next is the same-flow successor, linking a future's chain.
+	pred   *vertex
+	next   *vertex
+	succs  []*vertex
+	status vstatus
+
+	// Data sets, guarded by vmu (they are read by validators while the
+	// owning flow appends).
+	vmu    sync.Mutex
+	reads  map[*mvstm.VBox]readObs
+	writes map[*mvstm.VBox]writeEntry
+
+	// segment is the AtomicSegments segment this vertex belongs to
+	// (inherited from pred; re-stamped at segment boundaries).
+	segment int
+
+	// fut is non-nil on the first vertex of a future body.
+	fut *Future
+}
+
+func (v *vertex) removed() bool { return v.status == vRemoved }
+
+// newVertex allocates a vertex in flow, linked after pred. Caller holds
+// top.mu.
+func (t *topTx) newVertex(flow int, pred *vertex) *vertex {
+	t.nextVID++
+	v := &vertex{
+		id:     t.nextVID,
+		flow:   flow,
+		top:    t,
+		pred:   pred,
+		status: vActive,
+		reads:  make(map[*mvstm.VBox]readObs),
+		writes: make(map[*mvstm.VBox]writeEntry),
+	}
+	if pred != nil {
+		v.segment = pred.segment
+		pred.succs = append(pred.succs, v)
+		if pred.flow == flow {
+			pred.next = v
+		}
+	}
+	t.allVertices = append(t.allVertices, v)
+	return v
+}
+
+// chain returns the same-flow vertex chain rooted at v, in execution order.
+// Caller holds top.mu.
+func chain(v *vertex) []*vertex {
+	var out []*vertex
+	for c := v; c != nil; c = c.next {
+		out = append(out, c)
+	}
+	return out
+}
+
+// chainWriteBoxes returns the union of boxes written along the chain rooted
+// at v. Caller holds top.mu.
+func chainWriteBoxes(v *vertex) map[*mvstm.VBox]struct{} {
+	out := make(map[*mvstm.VBox]struct{})
+	for _, c := range chain(v) {
+		c.vmu.Lock()
+		for b := range c.writes {
+			out[b] = struct{}{}
+		}
+		c.vmu.Unlock()
+	}
+	return out
+}
+
+// chainReadBoxes returns the boxes read along the chain rooted at v,
+// excluding reads that observed a write originating in flow self (a future
+// re-reading its own chain's writes never conflicts with reordering the
+// whole chain). Caller holds top.mu.
+func chainReadBoxes(v *vertex, self int) map[*mvstm.VBox]struct{} {
+	out := make(map[*mvstm.VBox]struct{})
+	for _, c := range chain(v) {
+		c.vmu.Lock()
+		for b, obs := range c.reads {
+			if obs.ver == nil && obs.flow == self {
+				continue
+			}
+			out[b] = struct{}{}
+		}
+		c.vmu.Unlock()
+	}
+	return out
+}
+
+// intersects reports whether the two box sets share an element.
+func intersects(a map[*mvstm.VBox]struct{}, b map[*mvstm.VBox]struct{}) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for x := range a {
+		if _, ok := b[x]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// forwardConflicts reports whether any vertex forward-reachable from start
+// (inclusive) read one of the boxes in writes. skip, when non-nil, prunes
+// the subtree rooted at it (the validated future's own chain, whose
+// self-reads never conflict with relocating the whole chain). This is the
+// paper's forward validation: serializing a future at its submission point
+// is safe only if no sub-transaction ordered after its continuation observed
+// state the future is about to overwrite. Caller holds top.mu.
+func forwardConflicts(start *vertex, writes map[*mvstm.VBox]struct{}, skip *vertex) bool {
+	if len(writes) == 0 {
+		return false
+	}
+	seen := map[*vertex]bool{start: true}
+	stack := []*vertex{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v.removed() || v == skip {
+			continue
+		}
+		v.vmu.Lock()
+		hit := false
+		for b := range v.reads {
+			if _, ok := writes[b]; ok {
+				hit = true
+				break
+			}
+		}
+		v.vmu.Unlock()
+		if hit {
+			return true
+		}
+		for _, s := range v.succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// backwardConflicts walks the unique predecessor path from `from` back to
+// (but excluding) the spawner vertex `until`, and reports whether any vertex
+// on it wrote a box in reads. This is the paper's backward validation: those
+// sub-transactions executed concurrently with the future and their writes
+// were invisible to it, so the future may only be reordered after them if it
+// read none of what they wrote. The second result is false if `until` is not
+// an ancestor of `from` (a structurally invalid evaluation; the caller must
+// re-execute). Caller holds top.mu.
+func backwardConflicts(from, until *vertex, reads map[*mvstm.VBox]struct{}) (conflict, ok bool) {
+	for v := from; v != nil; v = v.pred {
+		if v == until {
+			return false, true
+		}
+		v.vmu.Lock()
+		hit := false
+		for b := range v.writes {
+			if _, in := reads[b]; in {
+				hit = true
+				break
+			}
+		}
+		v.vmu.Unlock()
+		if hit {
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// pathWriteBoxes returns the union of boxes written by the vertices on the
+// predecessor path from `from` (inclusive) back to `until` (exclusive).
+// Caller holds top.mu.
+func pathWriteBoxes(from, until *vertex) map[*mvstm.VBox]struct{} {
+	out := make(map[*mvstm.VBox]struct{})
+	for v := from; v != nil && v != until; v = v.pred {
+		v.vmu.Lock()
+		for b := range v.writes {
+			out[b] = struct{}{}
+		}
+		v.vmu.Unlock()
+	}
+	return out
+}
+
+// mergeChain serializes the (completed) chain rooted at head into target:
+// the chain's writes fold into target's write set in chain order, its reads
+// fold into target's read set (preserving them for later validations) and
+// into the top-level validation set, its vertices are removed, and any
+// non-chain children (futures the chain spawned that are still pending) are
+// re-rooted onto target.
+//
+// Re-rooting relocates a pending child future in G: the writes that are
+// logically ordered between the child's observation point and its new
+// position — the chain's own writes after the child's spawn, plus (when
+// merging at an evaluation point) the writes on the path from the spawner to
+// the evaluation point — are accumulated into the child's extraPathWrites,
+// which both of the child's validations consult. evalFrom is nil when
+// serializing at the submission point, or the evaluating vertex when
+// serializing at an evaluation point. Caller holds top.mu.
+func (t *topTx) mergeChain(head, target *vertex, evalFrom *vertex) {
+	cs := chain(head)
+	inChain := make(map[*vertex]bool, len(cs))
+	for _, c := range cs {
+		inChain[c] = true
+	}
+
+	// Writes between the chain's old position and its new one (only when
+	// relocating forward to an evaluation point).
+	var relocW map[*mvstm.VBox]struct{}
+	if evalFrom != nil {
+		relocW = pathWriteBoxes(evalFrom, head.pred)
+	}
+
+	// suffix[i] = boxes written by cs[i+1:], i.e. by the chain after the
+	// vertex that spawned a given child.
+	suffix := make([]map[*mvstm.VBox]struct{}, len(cs))
+	acc := make(map[*mvstm.VBox]struct{})
+	for i := len(cs) - 1; i >= 0; i-- {
+		snapshot := make(map[*mvstm.VBox]struct{}, len(acc))
+		for b := range acc {
+			snapshot[b] = struct{}{}
+		}
+		suffix[i] = snapshot
+		cs[i].vmu.Lock()
+		for b := range cs[i].writes {
+			acc[b] = struct{}{}
+		}
+		cs[i].vmu.Unlock()
+	}
+
+	for i, c := range cs {
+		c.vmu.Lock()
+		target.vmu.Lock()
+		for b, we := range c.writes {
+			target.writes[b] = we
+		}
+		for b, obs := range c.reads {
+			if _, ok := target.reads[b]; !ok {
+				target.reads[b] = obs
+			}
+			if obs.ver != nil {
+				t.aggReads[b] = struct{}{}
+			}
+		}
+		target.vmu.Unlock()
+		c.vmu.Unlock()
+
+		for _, child := range c.succs {
+			if inChain[child] || child.removed() {
+				continue
+			}
+			child.pred = target
+			target.succs = append(target.succs, child)
+			if f := child.fut; f != nil {
+				f.addExtraPathWrites(suffix[i])
+				f.addExtraPathWrites(relocW)
+				if inChain[f.cont] {
+					f.cont = target
+				}
+			}
+		}
+		c.status = vRemoved
+		c.succs = nil
+	}
+	if p := head.pred; p != nil {
+		for i, s := range p.succs {
+			if s == head {
+				p.succs = append(p.succs[:i], p.succs[i+1:]...)
+				break
+			}
+		}
+	}
+	t.gver++
+}
+
+// discardChain removes the chain rooted at head without folding its writes
+// (used for user-aborted futures and for stale executions about to be
+// re-run). Pending child futures spawned by the chain are invalidated: they
+// can never serialize, so their eventual evaluation re-executes them.
+// Caller holds top.mu.
+func (t *topTx) discardChain(head *vertex) {
+	cs := chain(head)
+	inChain := make(map[*vertex]bool, len(cs))
+	for _, c := range cs {
+		inChain[c] = true
+	}
+	for _, c := range cs {
+		for _, child := range c.succs {
+			if !inChain[child] && !child.removed() {
+				if child.fut != nil {
+					child.fut.invalidate()
+					t.sys.record(history.Op{Top: t.id, Flow: child.flow, Kind: history.FutureAbort, Arg: child.fut.name()})
+				}
+				t.discardChain(child)
+			}
+		}
+		c.status = vRemoved
+		c.succs = nil
+	}
+	if p := head.pred; p != nil {
+		for i, s := range p.succs {
+			if s == head {
+				p.succs = append(p.succs[:i], p.succs[i+1:]...)
+				break
+			}
+		}
+	}
+	t.gver++
+}

@@ -1,0 +1,55 @@
+package core
+
+// This file provides the fork-join sugar discussed in §3.3 of the paper:
+// parallel nesting is the restriction of transactional futures in which the
+// spawning flow blocks until every sub-transaction completes. Futures
+// strictly generalize it, so the classic model is a few lines on top.
+
+// ForkJoin runs every body as a transactional future and evaluates them all
+// before returning (the classic parallel-nesting pattern). Results are
+// returned in body order. The first body error aborts the remaining
+// evaluations and is returned; the corresponding futures' updates are
+// discarded with their fate governed by the usual semantics.
+func (tx *Tx) ForkJoin(bodies ...func(*Tx) (any, error)) ([]any, error) {
+	futs := make([]*Future, len(bodies))
+	for i, body := range bodies {
+		futs[i] = tx.Submit(body)
+	}
+	results := make([]any, len(bodies))
+	var firstErr error
+	for i, f := range futs {
+		v, err := tx.Evaluate(f)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		results[i] = v
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// Evaluate redeems f outside any transaction by wrapping the evaluation in
+// an otherwise empty transaction, as prescribed by §3 of the paper ("a
+// future can only be submitted or evaluated within the context of a
+// transaction; this can be enforced by wrapping any non-transactional
+// submit and evaluate call within an otherwise empty transaction").
+func (s *System) Evaluate(f *Future) (any, error) {
+	type outcome struct {
+		val any
+		err error
+	}
+	v, err := s.AtomicResult(func(tx *Tx) (any, error) {
+		val, ferr := tx.Evaluate(f)
+		// A future body's error must not abort the wrapping transaction
+		// (which may have merged the future's state machine bookkeeping):
+		// carry it out as a value.
+		return outcome{val: val, err: ferr}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	o := v.(outcome)
+	return o.val, o.err
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"wtftm/internal/mvstm"
+)
+
+func TestForkJoinResultsInOrder(t *testing.T) {
+	sys, _ := newSys(WO, LAC)
+	err := sys.Atomic(func(tx *Tx) error {
+		results, err := tx.ForkJoin(
+			func(*Tx) (any, error) { return "a", nil },
+			func(*Tx) (any, error) { return "b", nil },
+			func(*Tx) (any, error) { return "c", nil },
+		)
+		if err != nil {
+			return err
+		}
+		if fmt.Sprint(results) != "[a b c]" {
+			return fmt.Errorf("results = %v", results)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkJoinAtomicity(t *testing.T) {
+	sys, stm := newSys(WO, LAC)
+	boxes := make([]*mvstm.VBox, 4)
+	for i := range boxes {
+		boxes[i] = stm.NewBoxNamed(fmt.Sprintf("b%d", i), 0)
+	}
+	err := sys.Atomic(func(tx *Tx) error {
+		bodies := make([]func(*Tx) (any, error), len(boxes))
+		for i := range boxes {
+			i := i
+			bodies[i] = func(ftx *Tx) (any, error) {
+				ftx.Write(boxes[i], i+1)
+				return nil, nil
+			}
+		}
+		if _, err := tx.ForkJoin(bodies...); err != nil {
+			return err
+		}
+		// All sub-transaction writes visible after the join.
+		for i, b := range boxes {
+			if got := tx.Read(b); got != i+1 {
+				return fmt.Errorf("box %d = %v", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range boxes {
+		if got := readInt(t, stm, b); got != i+1 {
+			t.Fatalf("committed box %d = %d", i, got)
+		}
+	}
+}
+
+func TestForkJoinFirstError(t *testing.T) {
+	sys, stm := newSys(WO, LAC)
+	x := stm.NewBoxNamed("x", 0)
+	boom := errors.New("boom")
+	err := sys.Atomic(func(tx *Tx) error {
+		_, err := tx.ForkJoin(
+			func(ftx *Tx) (any, error) { ftx.Write(x, 1); return nil, nil },
+			func(*Tx) (any, error) { return nil, boom },
+		)
+		if !errors.Is(err, boom) {
+			return fmt.Errorf("ForkJoin err = %v", err)
+		}
+		return nil // the transaction itself proceeds
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The successful body's write committed; the failed one's did not.
+	if got := readInt(t, stm, x); got != 1 {
+		t.Fatalf("x = %d", got)
+	}
+}
+
+func TestSystemEvaluateOutside(t *testing.T) {
+	sys, stm := newSys(WO, GAC)
+	a := stm.NewBoxNamed("a", 20)
+	b := stm.NewBoxNamed("b", 0)
+	var fut *Future
+	err := sys.Atomic(func(tx *Tx) error {
+		fut = tx.Submit(func(ftx *Tx) (any, error) {
+			v := ftx.Read(a).(int)
+			ftx.Write(b, v+1)
+			return v + 1, nil
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sys.Evaluate(fut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 21 {
+		t.Fatalf("Evaluate = %v, want 21", v)
+	}
+	if got := readInt(t, stm, b); got != 21 {
+		t.Fatalf("b = %d, want 21 (committed by the wrapping transaction)", got)
+	}
+}
+
+func TestSystemEvaluateOutsideBodyError(t *testing.T) {
+	sys, _ := newSys(WO, GAC)
+	boom := errors.New("boom")
+	var fut *Future
+	err := sys.Atomic(func(tx *Tx) error {
+		fut = tx.Submit(func(ftx *Tx) (any, error) { return nil, boom })
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Evaluate(fut); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestForkJoinNested(t *testing.T) {
+	sys, _ := newSys(WO, LAC)
+	err := sys.Atomic(func(tx *Tx) error {
+		results, err := tx.ForkJoin(
+			func(ftx *Tx) (any, error) {
+				inner, err := ftx.ForkJoin(
+					func(*Tx) (any, error) { return 1, nil },
+					func(*Tx) (any, error) { return 2, nil },
+				)
+				if err != nil {
+					return nil, err
+				}
+				return inner[0].(int) + inner[1].(int), nil
+			},
+			func(*Tx) (any, error) { return 10, nil },
+		)
+		if err != nil {
+			return err
+		}
+		if results[0] != 3 || results[1] != 10 {
+			return fmt.Errorf("results = %v", results)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"wtftm/internal/mvstm"
+)
+
+func TestSegmentsBasicSequence(t *testing.T) {
+	for _, ord := range []Ordering{WO, SO} {
+		t.Run(ord.String(), func(t *testing.T) {
+			sys, stm := newSys(ord, LAC)
+			x := stm.NewBoxNamed("x", 0)
+			err := sys.AtomicSegments(
+				func(tx *Tx) error { tx.Write(x, tx.Read(x).(int)+1); return nil },
+				func(tx *Tx) error { tx.Write(x, tx.Read(x).(int)*10); return nil },
+				func(tx *Tx) error { tx.Write(x, tx.Read(x).(int)+5); return nil },
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := readInt(t, stm, x); got != 15 {
+				t.Fatalf("x = %d, want 15", got)
+			}
+		})
+	}
+}
+
+func TestSegmentsNoSegments(t *testing.T) {
+	sys, _ := newSys(SO, LAC)
+	if err := sys.AtomicSegments(); !errors.Is(err, ErrNoSegments) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSegmentsUserError(t *testing.T) {
+	sys, stm := newSys(SO, LAC)
+	x := stm.NewBoxNamed("x", 0)
+	boom := errors.New("boom")
+	err := sys.AtomicSegments(
+		func(tx *Tx) error { tx.Write(x, 1); return nil },
+		func(tx *Tx) error { return boom },
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := readInt(t, stm, x); got != 0 {
+		t.Fatalf("aborted segment write leaked: x = %d", got)
+	}
+}
+
+// TestSegmentsPartialRollback is the headline scenario: under SO a
+// continuation conflict replays only the segment that submitted the
+// conflicting future — earlier segments run exactly once.
+func TestSegmentsPartialRollback(t *testing.T) {
+	sys, stm := newSys(SO, LAC)
+	x := stm.NewBoxNamed("x", 0)
+	z := stm.NewBoxNamed("z", 0)
+	var seg1Runs, seg2Runs atomic.Int32
+
+	err := sys.AtomicSegments(
+		func(tx *Tx) error {
+			seg1Runs.Add(1)
+			tx.Write(x, 7)
+			return nil
+		},
+		func(tx *Tx) error {
+			n := seg2Runs.Add(1)
+			race := n == 1
+			gate := make(chan struct{})
+			f := tx.Submit(func(ftx *Tx) (any, error) {
+				if race {
+					<-gate
+				}
+				ftx.Write(z, ftx.Read(x).(int)) // SO future writes z
+				return nil, nil
+			})
+			if race {
+				_ = tx.Read(z) // stale read forces the SO conflict
+				close(gate)
+			}
+			_, err := tx.Evaluate(f)
+			if err != nil {
+				return err
+			}
+			if !race {
+				_ = tx.Read(z)
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seg1Runs.Load(); got != 1 {
+		t.Fatalf("segment 1 ran %d times, want exactly 1 (partial rollback)", got)
+	}
+	if got := seg2Runs.Load(); got < 2 {
+		t.Fatalf("segment 2 ran %d times, want >= 2", got)
+	}
+	if got := readInt(t, stm, z); got != 7 {
+		t.Fatalf("z = %d, want 7 (future saw segment 1's write)", got)
+	}
+	if got := sys.Stats().SegmentRollbacks.Load(); got < 1 {
+		t.Fatalf("SegmentRollbacks = %d", got)
+	}
+	if got := sys.Stats().TopCommits.Load(); got != 1 {
+		t.Fatalf("TopCommits = %d, want 1 (no full retry)", got)
+	}
+}
+
+// TestSegmentsRollbackDiscardsSegmentWrites: a replayed segment's first
+// execution leaves no trace.
+func TestSegmentsRollbackDiscardsSegmentWrites(t *testing.T) {
+	sys, stm := newSys(SO, LAC)
+	marker := stm.NewBoxNamed("marker", 0)
+	z := stm.NewBoxNamed("z", 0)
+	var runs atomic.Int32
+	err := sys.AtomicSegments(
+		func(tx *Tx) error {
+			n := int(runs.Add(1))
+			tx.Write(marker, tx.Read(marker).(int)+100) // must apply once
+			race := n == 1
+			gate := make(chan struct{})
+			f := tx.Submit(func(ftx *Tx) (any, error) {
+				if race {
+					<-gate
+				}
+				ftx.Write(z, 1)
+				return nil, nil
+			})
+			if race {
+				_ = tx.Read(z)
+				close(gate)
+			}
+			_, err := tx.Evaluate(f)
+			return err
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readInt(t, stm, marker); got != 100 {
+		t.Fatalf("marker = %d, want 100 (discarded execution leaked)", got)
+	}
+}
+
+// TestSegmentsProgressUnderRepeatedConflicts: a segment that always races
+// must still terminate (escalation to fork-join submission).
+func TestSegmentsProgressUnderRepeatedConflicts(t *testing.T) {
+	sys, stm := newSys(SO, LAC)
+	z := stm.NewBoxNamed("z", 0)
+	var runs atomic.Int32
+	err := sys.AtomicSegments(
+		func(tx *Tx) error {
+			runs.Add(1)
+			gate := make(chan struct{})
+			raced := false
+			f := tx.Submit(func(ftx *Tx) (any, error) {
+				select {
+				case <-gate:
+				default:
+					// In fork-join (escalated) mode the continuation has not
+					// run yet, so the gate is still open and we proceed.
+				}
+				ftx.Write(z, ftx.Read(z).(int)+1)
+				return nil, nil
+			})
+			// In concurrent mode this read races with the future's write.
+			_ = tx.Read(z)
+			raced = true
+			_ = raced
+			close(gate)
+			_, err := tx.Evaluate(f)
+			return err
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readInt(t, stm, z); got != 1 {
+		t.Fatalf("z = %d, want 1", got)
+	}
+}
+
+// TestSegmentsEquivalentToAtomic compares the committed state of a
+// segmented transaction against the same logic under Atomic.
+func TestSegmentsEquivalentToAtomic(t *testing.T) {
+	run := func(segmented bool) []int {
+		sys, stm := newSys(SO, LAC)
+		boxes := make([]*mvstm.VBox, 3)
+		for i := range boxes {
+			boxes[i] = stm.NewBoxNamed(fmt.Sprintf("b%d", i), i)
+		}
+		step1 := func(tx *Tx) error {
+			f := tx.Submit(func(ftx *Tx) (any, error) {
+				ftx.Write(boxes[0], ftx.Read(boxes[0]).(int)*3)
+				return nil, nil
+			})
+			_, err := tx.Evaluate(f)
+			return err
+		}
+		step2 := func(tx *Tx) error {
+			tx.Write(boxes[1], tx.Read(boxes[0]).(int)+tx.Read(boxes[1]).(int))
+			return nil
+		}
+		step3 := func(tx *Tx) error {
+			tx.Write(boxes[2], tx.Read(boxes[1]).(int)*10)
+			return nil
+		}
+		var err error
+		if segmented {
+			err = sys.AtomicSegments(step1, step2, step3)
+		} else {
+			err = sys.Atomic(func(tx *Tx) error {
+				for _, s := range []func(*Tx) error{step1, step2, step3} {
+					if e := s(tx); e != nil {
+						return e
+					}
+				}
+				return nil
+			})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, len(boxes))
+		txn := stm.Begin()
+		for i, b := range boxes {
+			out[i] = txn.Read(b).(int)
+		}
+		txn.Discard()
+		return out
+	}
+	a, b := run(false), run(true)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("Atomic = %v, AtomicSegments = %v", a, b)
+	}
+}
+
+// TestSegmentsMVSTMConflictFullRetry: inter-transaction conflicts still
+// retry the whole segmented transaction.
+func TestSegmentsMVSTMConflictFullRetry(t *testing.T) {
+	sys, stm := newSys(SO, LAC)
+	x := stm.NewBoxNamed("x", 0)
+	var attempts atomic.Int32
+	err := sys.AtomicSegments(
+		func(tx *Tx) error {
+			n := attempts.Add(1)
+			v := tx.Read(x).(int)
+			if n == 1 {
+				if err := sys.Atomic(func(tx2 *Tx) error { tx2.Write(x, 100); return nil }); err != nil {
+					return err
+				}
+			}
+			tx.Write(x, v+1)
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("attempts = %d, want 2", got)
+	}
+	if got := readInt(t, stm, x); got != 101 {
+		t.Fatalf("x = %d, want 101", got)
+	}
+}
+
+// TestSegmentsConflictDuringCommit: a future that settles with a conflict
+// only while the commit is resolving still triggers a partial rollback.
+func TestSegmentsConflictDuringCommit(t *testing.T) {
+	sys, stm := newSys(SO, LAC)
+	z := stm.NewBoxNamed("z", 0)
+	var seg1, seg2 atomic.Int32
+	gate := make(chan struct{})
+	var closed atomic.Bool
+	err := sys.AtomicSegments(
+		func(tx *Tx) error { seg1.Add(1); return nil },
+		func(tx *Tx) error {
+			n := seg2.Add(1)
+			tx.Submit(func(ftx *Tx) (any, error) {
+				if n == 1 {
+					<-gate // still running when the main flow reaches commit
+				}
+				ftx.Write(z, ftx.Read(z).(int)+1)
+				return nil, nil
+			})
+			_ = tx.Read(z) // conflicting continuation read
+			if n == 1 && !closed.Swap(true) {
+				close(gate)
+			}
+			return nil // never evaluated: the commit resolves it
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seg1.Load(); got != 1 {
+		t.Fatalf("segment 1 ran %d times", got)
+	}
+	if got := seg2.Load(); got < 2 {
+		t.Fatalf("segment 2 ran %d times, want >= 2", got)
+	}
+	if got := readInt(t, stm, z); got != 1 {
+		t.Fatalf("z = %d, want 1", got)
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"wtftm/internal/fsg"
+	"wtftm/internal/history"
+	"wtftm/internal/mvstm"
+	"wtftm/internal/workload"
+)
+
+// TestSOWithGACWaitsAllFutures: under SO the GAC/LAC distinction is
+// irrelevant (§3.3 end) — futures serialize at submission, so the top-level
+// commit always waits for them.
+func TestSOWithGACWaitsAllFutures(t *testing.T) {
+	sys, stm := newSys(SO, GAC)
+	x := stm.NewBoxNamed("x", 0)
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		err := sys.Atomic(func(tx *Tx) error {
+			tx.Submit(func(ftx *Tx) (any, error) {
+				<-gate
+				ftx.Write(x, 1)
+				return nil, nil
+			})
+			return nil // escape attempt: SO must still wait
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+		t.Fatal("SO commit returned before its future completed")
+	default:
+	}
+	close(gate)
+	<-done
+	if got := readInt(t, stm, x); got != 1 {
+		t.Fatalf("x = %d, want 1 (future committed with its spawner)", got)
+	}
+	if esc := sys.Stats().EscapedFutures.Load(); esc != 0 {
+		t.Fatalf("SO let %d futures escape", esc)
+	}
+}
+
+// TestConcurrentSegmentedTransactions: several goroutines run segmented SO
+// transactions against shared hot spots; every increment must apply exactly
+// once despite rollbacks and full retries.
+func TestConcurrentSegmentedTransactions(t *testing.T) {
+	sys, stm := newSys(SO, LAC)
+	hot := stm.NewBoxNamed("hot", 0)
+	aux := stm.NewBoxNamed("aux", 0)
+	const workers = 6
+	const perWorker = 5
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := sys.AtomicSegments(
+					func(tx *Tx) error {
+						tx.Write(aux, tx.Read(aux).(int)+1)
+						return nil
+					},
+					func(tx *Tx) error {
+						f := tx.Submit(func(ftx *Tx) (any, error) {
+							ftx.Write(hot, ftx.Read(hot).(int)+1)
+							return nil, nil
+						})
+						// Conflict-prone continuation read races the future.
+						_ = tx.Read(hot)
+						_, err := tx.Evaluate(f)
+						return err
+					},
+				)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := workers * perWorker
+	if got := readInt(t, stm, hot); got != want {
+		t.Fatalf("hot = %d, want %d", got, want)
+	}
+	if got := readInt(t, stm, aux); got != want {
+		t.Fatalf("aux = %d, want %d (prefix segment must apply exactly once per commit)", got, want)
+	}
+}
+
+// TestGACRandomizedPipelines: random chains of producer transactions leaving
+// escaping futures behind and consumer transactions evaluating them, with
+// interleaved interfering writers forcing detach re-executions. The final
+// accumulated sum must equal the sum computed from committed inputs, and the
+// recorded history must be FSG-serializable.
+func TestGACRandomizedPipelines(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		rec := history.NewRecorder()
+		stm := mvstm.New()
+		sys := New(stm, Options{Ordering: WO, Atomicity: GAC, Recorder: rec})
+		const slots = 6
+		inputs := make([]*mvstm.VBox, slots)
+		refs := make([]*mvstm.VBox, slots)
+		outputs := make([]*mvstm.VBox, slots)
+		for i := range inputs {
+			inputs[i] = stm.NewBoxNamed(fmt.Sprintf("in%d", i), i+1)
+			refs[i] = stm.NewBoxNamed(fmt.Sprintf("ref%d", i), nil)
+			outputs[i] = stm.NewBoxNamed(fmt.Sprintf("out%d", i), 0)
+		}
+		rng := workload.NewRNG(seed)
+
+		// Producers leave escaping futures that double their input slot.
+		var wg sync.WaitGroup
+		for i := 0; i < slots; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				err := sys.Atomic(func(tx *Tx) error {
+					f := tx.Submit(func(ftx *Tx) (any, error) {
+						return ftx.Read(inputs[i]).(int) * 2, nil
+					})
+					tx.Write(refs[i], f)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+		wg.Wait()
+
+		// Interferers overwrite some inputs (making those detaches stale).
+		for i := 0; i < slots; i++ {
+			if rng.Intn(2) == 0 {
+				i := i
+				if err := sys.Atomic(func(tx *Tx) error {
+					tx.Write(inputs[i], tx.Read(inputs[i]).(int)+100)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		// Consumers evaluate concurrently; each writes its slot's output.
+		for i := 0; i < slots; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				err := sys.Atomic(func(tx *Tx) error {
+					f := tx.Read(refs[i]).(*Future)
+					v, err := tx.Evaluate(f)
+					if err != nil {
+						return err
+					}
+					tx.Write(outputs[i], v)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+		wg.Wait()
+
+		// Every output must be 2x a value the input slot actually held at
+		// some committed point (original or interfered).
+		txn := stm.Begin()
+		for i := 0; i < slots; i++ {
+			out := txn.Read(outputs[i]).(int)
+			orig := (i + 1) * 2
+			bumped := (i + 1 + 100) * 2
+			if out != orig && out != bumped {
+				txn.Discard()
+				t.Fatalf("seed %d: out%d = %d, want %d or %d", seed, i, out, orig, bumped)
+			}
+		}
+		txn.Discard()
+
+		// The multi-top escaped-future history must be serializable.
+		h, err := fsg.FromLog(rec.Ops())
+		if err != nil {
+			t.Fatalf("seed %d: FromLog: %v", seed, err)
+		}
+		p, err := fsg.Build(h, fsg.WOsem)
+		if err != nil {
+			t.Fatalf("seed %d: Build: %v", seed, err)
+		}
+		if !p.Acyclic() {
+			t.Fatalf("seed %d: GAC history not serializable", seed)
+		}
+	}
+}
+
+// TestMixedSemanticsSystemsShareSTM: two engines with different semantics
+// over the same STM interoperate through committed state.
+func TestMixedSemanticsSystemsShareSTM(t *testing.T) {
+	stm := mvstm.New()
+	wo := New(stm, Options{Ordering: WO, Atomicity: LAC})
+	so := New(stm, Options{Ordering: SO, Atomicity: LAC})
+	x := stm.NewBoxNamed("x", 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sys := wo
+			if g%2 == 1 {
+				sys = so
+			}
+			for i := 0; i < 10; i++ {
+				err := sys.Atomic(func(tx *Tx) error {
+					f := tx.Submit(func(ftx *Tx) (any, error) {
+						ftx.Write(x, ftx.Read(x).(int)+1)
+						return nil, nil
+					})
+					_, err := tx.Evaluate(f)
+					return err
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := readInt(t, stm, x); got != 40 {
+		t.Fatalf("x = %d, want 40", got)
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"wtftm/internal/history"
+	"wtftm/internal/mvstm"
+)
+
+// Tx is the handle user code uses to access shared state inside a top-level
+// transaction or a future body. It is bound to the current sub-transaction
+// vertex and is re-bound at every Submit/Evaluate boundary (the paper's
+// implicit sub-transaction checkpoints), so a Tx must only be used by the
+// flow it was handed to and never stored across transactions.
+type Tx struct {
+	top *topTx
+	cur *vertex
+}
+
+// System returns the engine this transaction runs on.
+func (tx *Tx) System() *System { return tx.top.sys }
+
+// Flow returns the logical thread-of-control id of this handle (0 for the
+// main flow of the top-level transaction, a positive id per future body).
+func (tx *Tx) Flow() int { return tx.cur.flow }
+
+// checkAlive aborts the current flow (by unwinding to the retry loop) when
+// the top-level transaction has been aborted by a concurrent event, e.g. an
+// SO continuation conflict detected by a future.
+func (tx *Tx) checkAlive() {
+	if tx.top.aborted.Load() {
+		panic(&retrySignal{cause: tx.top.abortCause()})
+	}
+	if tx.top.segMode && tx.cur.flow == 0 {
+		if to := tx.top.rollbackPending(); to != noRollback {
+			panic(&segSignal{to: int(to)})
+		}
+	}
+}
+
+// await blocks on ch, unwinding on a transaction abort and — on a segmented
+// transaction's main flow — on a partial-rollback request.
+func (tx *Tx) await(ch <-chan struct{}) {
+	top := tx.top
+	for {
+		if top.segMode && tx.cur.flow == 0 {
+			select {
+			case <-ch:
+				return
+			case <-top.abortCh:
+				panic(&retrySignal{cause: top.abortCause()})
+			case <-top.rollbackChan():
+				if to := top.rollbackPending(); to != noRollback {
+					panic(&segSignal{to: int(to)})
+				}
+				continue // already-handled request; re-arm
+			}
+		}
+		select {
+		case <-ch:
+			return
+		case <-top.abortCh:
+			panic(&retrySignal{cause: top.abortCause()})
+		}
+	}
+}
+
+// Abort aborts the enclosing top-level transaction permanently; Atomic
+// returns err without retrying. Inside a future body, prefer returning an
+// error from the body, which aborts only the future.
+func (tx *Tx) Abort(err error) {
+	if err == nil {
+		err = fmt.Errorf("core: transaction aborted by program")
+	}
+	panic(&userAbort{err: err})
+}
+
+// Read returns the value of b as seen by the current sub-transaction: its
+// own buffered write if any, otherwise the write of the closest iCommitted
+// ancestor in G, otherwise the newest version visible at the top-level
+// transaction's snapshot. Repeated reads of the same box within one
+// sub-transaction are stable.
+func (tx *Tx) Read(b *mvstm.VBox) any {
+	tx.checkAlive()
+	top := tx.top
+	cur := tx.cur
+	top.mu.RLock()
+
+	cur.vmu.Lock()
+	if we, ok := cur.writes[b]; ok {
+		cur.vmu.Unlock()
+		top.mu.RUnlock()
+		return we.val
+	}
+	if obs, ok := cur.reads[b]; ok {
+		cur.vmu.Unlock()
+		top.mu.RUnlock()
+		return obs.val
+	}
+	cur.vmu.Unlock()
+
+	var obs readObs
+	found := false
+	for a := cur.pred; a != nil; a = a.pred {
+		a.vmu.Lock()
+		if we, ok := a.writes[b]; ok {
+			obs = readObs{val: we.val, flow: we.flow, wid: we.wid}
+			found = true
+		}
+		a.vmu.Unlock()
+		if found {
+			break
+		}
+	}
+	if !found {
+		ver := b.ReadAt(top.snap)
+		obs = readObs{val: ver.Value, ver: ver}
+	}
+	cur.vmu.Lock()
+	// Re-check: the flow itself cannot have raced, but keep the first
+	// observation if one was registered between the unlock and here.
+	if prev, ok := cur.reads[b]; ok {
+		obs = prev
+	} else {
+		cur.reads[b] = obs
+	}
+	cur.vmu.Unlock()
+	top.mu.RUnlock()
+
+	if top.sys.opts.Recorder != nil {
+		o := history.Op{Top: top.id, Flow: cur.flow, Kind: history.Read, Var: b.Name}
+		if obs.ver != nil {
+			o.Obs = fmt.Sprintf("v%d", obs.ver.TS)
+		} else {
+			o.Obs = fmt.Sprintf("w%d", obs.wid)
+		}
+		top.sys.record(o)
+	}
+	return obs.val
+}
+
+// Write buffers a write of v to b in the current sub-transaction. It
+// becomes visible to later sub-transactions of the same top-level
+// transaction when this sub-transaction iCommits, and to other top-level
+// transactions when the top-level transaction commits.
+func (tx *Tx) Write(b *mvstm.VBox, v any) {
+	tx.checkAlive()
+	wid := tx.top.sys.nextWID()
+	tx.cur.vmu.Lock()
+	tx.cur.writes[b] = writeEntry{val: v, wid: wid, flow: tx.cur.flow}
+	tx.cur.vmu.Unlock()
+	if tx.top.sys.opts.Recorder != nil {
+		tx.top.sys.record(history.Op{
+			Top: tx.top.id, Flow: tx.cur.flow, Kind: history.Write, Var: b.Name, WID: wid,
+		})
+	}
+}
+
+// Submit spawns body as a transactional future: a parallel sub-transaction
+// of the enclosing top-level transaction. The current sub-transaction
+// iCommits (its writes become visible to the future) and the flow continues
+// in a fresh continuation sub-transaction. The returned Future can be
+// evaluated by this or — depending on the Atomicity semantics — any other
+// transaction.
+func (tx *Tx) Submit(body func(*Tx) (any, error)) *Future {
+	tx.checkAlive()
+	top := tx.top
+	sys := top.sys
+
+	top.mu.Lock()
+	spawner := tx.cur
+	spawner.status = vICommitted
+	fv := top.newVertex(top.nextFlow(), spawner)
+	cv := top.newVertex(spawner.flow, spawner)
+	// newVertex set spawner.next to whichever same-flow vertex came last;
+	// the continuation extends the spawner's flow.
+	spawner.next = cv
+
+	f := &Future{
+		sys:           sys,
+		top:           top,
+		id:            len(top.futures) + 1,
+		flow:          fv.flow,
+		body:          body,
+		vertex:        fv,
+		cont:          cv,
+		submitSegment: spawner.segment,
+		execDone:      make(chan struct{}),
+		settled:       make(chan struct{}),
+	}
+	fv.fut = f
+	f.prevInFlow = top.lastInFlow[spawner.flow]
+	top.lastInFlow[spawner.flow] = f
+	top.futures = append(top.futures, f)
+	top.gver++
+	tx.cur = cv
+	top.mu.Unlock()
+	top.addOutstanding()
+
+	sys.stats.FuturesSubmitted.Add(1)
+	sys.record(history.Op{Top: top.id, Flow: spawner.flow, Kind: history.Submit, Arg: f.name()})
+	go f.run()
+	if top.serialSubmit {
+		tx.await(f.settled)
+	}
+	return f
+}
+
+// Evaluate blocks until f's result is available and f has been serialized
+// (at its submission point or, under WO semantics, at this evaluation
+// point), then returns the value produced by f's committed execution.
+// Repeated evaluations are idempotent. A non-nil error is the error f's
+// body aborted with.
+func (tx *Tx) Evaluate(f *Future) (any, error) {
+	tx.checkAlive()
+	tx.top.sys.record(history.Op{
+		Top: tx.top.id, Flow: tx.cur.flow, Kind: history.Evaluate, Arg: f.name(),
+	})
+	if f.top != tx.top {
+		return tx.evaluateForeign(f)
+	}
+	return tx.evaluateLocal(f)
+}
+
+// TryEvaluate is the non-blocking variant of Evaluate (§3.2): if f's body
+// is still executing it returns ok == false without affecting f's possible
+// serialization orders; otherwise it behaves exactly like Evaluate.
+func (tx *Tx) TryEvaluate(f *Future) (val any, ok bool, err error) {
+	tx.checkAlive()
+	select {
+	case <-f.execDone:
+	default:
+		return nil, false, nil
+	}
+	val, err = tx.Evaluate(f)
+	return val, true, err
+}

@@ -1,0 +1,52 @@
+package fsg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the polygraph in Graphviz DOT format: mandatory edges as
+// solid arrows, bipaths as paired dashed arrows sharing a style per
+// disjunction. It is a debugging/teaching aid for inspecting the FSG of a
+// recorded history (cmd/fsgcheck -dot).
+func (p *Polygraph) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	b.WriteString("digraph FSG {\n")
+	if title != "" {
+		fmt.Fprintf(&b, "  label=%q;\n  labelloc=t;\n", title)
+	}
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+
+	names := append([]string(nil), p.names...)
+	sort.Strings(names)
+	for _, n := range names {
+		shape := "box"
+		switch {
+		case strings.HasPrefix(n, "B("):
+			shape = "box"
+		case strings.HasPrefix(n, "CB("):
+			shape = "ellipse"
+		case strings.HasPrefix(n, "EV("):
+			shape = "hexagon"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", n, shape)
+	}
+	for _, e := range p.edges {
+		fmt.Fprintf(&b, "  %q -> %q;\n", p.names[e.From], p.names[e.To])
+	}
+	for i, bp := range p.bipaths {
+		fmt.Fprintf(&b, "  %q -> %q [style=dashed, color=%q, label=\"b%d\"];\n",
+			p.names[bp.A.From], p.names[bp.A.To], dotColor(i), i)
+		fmt.Fprintf(&b, "  %q -> %q [style=dashed, color=%q, label=\"b%d\"];\n",
+			p.names[bp.B.From], p.names[bp.B.To], dotColor(i), i)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+var dotPalette = []string{"blue", "red", "darkgreen", "purple", "orange", "brown", "teal"}
+
+func dotColor(i int) string { return dotPalette[i%len(dotPalette)] }

@@ -1,0 +1,47 @@
+package fsg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	p, err := Build(fig1aHistory(), WOsem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteDOT(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph FSG",
+		`label="test"`,
+		`"B(T)"`,
+		`"B(TF)"`,
+		"style=dashed", // bipath arms
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Every mandatory edge appears.
+	if strings.Count(out, "->") < p.NumEdges()+2*p.NumBipaths() {
+		t.Fatalf("missing arrows:\n%s", out)
+	}
+}
+
+func TestWriteDOTNoTitle(t *testing.T) {
+	p := NewPolygraph()
+	p.AddEdge("a", "b")
+	var buf bytes.Buffer
+	if err := p.WriteDOT(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "label=") {
+		t.Fatal("unexpected title")
+	}
+}

@@ -1,0 +1,265 @@
+package fsg
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wtftm/internal/history"
+)
+
+// FromLog converts a recorded engine log into an abstract History suitable
+// for Build. Only committed top-level transaction attempts and the surviving
+// execution of each future contribute operations: aborted attempts,
+// discarded (re-executed) and cancelled future executions are elided, as the
+// formal model only constrains the single execution of each (sub-)
+// transaction that did commit.
+func FromLog(ops []history.Op) (History, error) {
+	ops = elideRolledBackSegments(ops)
+	h := History{
+		Agents: make(map[string][]Op),
+		Top:    make(map[string]string),
+	}
+
+	// Pass 1: committed tops, their commit timestamps, future executions.
+	committed := make(map[int64]int64) // top id -> commit clock TS
+	type exec struct {
+		top  int64
+		flow int
+	}
+	futExecs := make(map[string][]exec)
+	futAborts := make(map[string]int)
+	futEscapeTop := make(map[string]int64) // escaped future -> evaluating (including) top
+	for _, op := range ops {
+		switch op.Kind {
+		case history.TopCommit:
+			committed[op.Top] = op.WID
+		case history.FutureBegin:
+			futExecs[op.Arg] = append(futExecs[op.Arg], exec{top: op.Top, flow: op.Flow})
+		case history.FutureAbort:
+			futAborts[op.Arg]++
+		case history.FutureMerge:
+			if name, ok := strings.CutPrefix(op.Arg, "evaluation/escaped "); ok {
+				futEscapeTop[name] = op.Top
+			}
+		}
+	}
+
+	// The surviving execution of each future, if any.
+	kept := make(map[string]exec)    // future name -> surviving execution
+	keptRev := make(map[exec]string) // surviving execution -> future name
+	for name, execs := range futExecs {
+		if len(execs) > futAborts[name] {
+			e := execs[len(execs)-1]
+			kept[name] = e
+			keptRev[e] = name
+		}
+	}
+
+	agentOf := func(top int64, flow int) (string, bool) {
+		if _, ok := committed[top]; !ok {
+			return "", false
+		}
+		if flow == 0 {
+			return fmt.Sprintf("T%d", top), true
+		}
+		name, ok := keptRev[exec{top: top, flow: flow}]
+		return name, ok
+	}
+
+	// Pass 2: write-id inventory of surviving flows (to resolve Obs).
+	widKnown := make(map[int64]bool)
+	for _, op := range ops {
+		if op.Kind != history.Write {
+			continue
+		}
+		if _, ok := agentOf(op.Top, op.Flow); ok {
+			widKnown[op.WID] = true
+		}
+	}
+
+	// Pass 3: build agent streams.
+	topVars := make(map[int64]map[string]bool)
+	noteVar := func(top int64, v string) {
+		m := topVars[top]
+		if m == nil {
+			m = make(map[string]bool)
+			topVars[top] = m
+		}
+		m[v] = true
+	}
+	ensureAgent := func(name string, top int64) {
+		if _, ok := h.Agents[name]; !ok {
+			h.Agents[name] = nil
+		}
+		if _, ok := h.Top[name]; !ok {
+			h.Top[name] = fmt.Sprintf("T%d", top)
+		}
+	}
+
+	for _, op := range ops {
+		agent, ok := agentOf(op.Top, op.Flow)
+		if !ok {
+			continue
+		}
+		switch op.Kind {
+		case history.Read:
+			obs, err := convertObs(op.Obs, committed, widKnown)
+			if err != nil {
+				return h, fmt.Errorf("%w (agent %s var %s)", err, agent, op.Var)
+			}
+			ensureAgent(agent, op.Top)
+			h.Agents[agent] = append(h.Agents[agent], Op{Kind: Read, Var: op.Var, Obs: obs})
+		case history.Write:
+			ensureAgent(agent, op.Top)
+			h.Agents[agent] = append(h.Agents[agent], Op{Kind: Write, Var: op.Var, WID: "w" + strconv.FormatInt(op.WID, 10)})
+		case history.Submit:
+			ensureAgent(agent, op.Top)
+			h.Agents[agent] = append(h.Agents[agent], Op{Kind: Submit, Future: op.Arg})
+			// Guarantee the future has an agent stream even if its every
+			// execution was discarded (it then constrains nothing).
+			ensureAgent(op.Arg, op.Top)
+		case history.Evaluate:
+			name := strings.TrimSuffix(op.Arg, "/implicit")
+			ensureAgent(agent, op.Top)
+			h.Agents[agent] = append(h.Agents[agent], Op{Kind: Eval, Future: name})
+		case history.TopBegin:
+			ensureAgent(agent, op.Top)
+		}
+	}
+
+	// Inclusion of surviving future executions: by default the top-level
+	// transaction whose flow ran them; escaped futures belong to their
+	// evaluator.
+	for name, e := range kept {
+		if _, ok := committed[e.top]; !ok {
+			continue
+		}
+		ensureAgent(name, e.top)
+		if evalTop, escaped := futEscapeTop[name]; escaped {
+			h.Top[name] = fmt.Sprintf("T%d", evalTop)
+		}
+	}
+
+	// Vars per committing top-level transaction, attributed via inclusion.
+	for agent, stream := range h.Agents {
+		topName := h.Top[agent]
+		id, err := strconv.ParseInt(strings.TrimPrefix(topName, "T"), 10, 64)
+		if err != nil {
+			return h, fmt.Errorf("fsg: bad top name %q", topName)
+		}
+		for _, op := range stream {
+			if op.Kind == Write {
+				noteVar(id, op.Var)
+			}
+		}
+	}
+
+	// Commit order by clock timestamp.
+	type commitEntry struct {
+		top int64
+		ts  int64
+	}
+	var order []commitEntry
+	for top, ts := range committed {
+		if ts == 0 {
+			continue // read-only commit: installed nothing observable
+		}
+		order = append(order, commitEntry{top: top, ts: ts})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].ts < order[j].ts })
+	for _, c := range order {
+		var vars []string
+		for v := range topVars[c.top] {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		h.Commits = append(h.Commits, CommitRec{
+			Top:  fmt.Sprintf("T%d", c.top),
+			ID:   "c" + strconv.FormatInt(c.ts, 10),
+			Vars: vars,
+		})
+	}
+	return h, nil
+}
+
+// elideRolledBackSegments removes, per top-level transaction, the main-flow
+// operations recorded between a SegStart and a later SegRollback targeting
+// that segment (or an earlier one): those operations belong to discarded
+// sub-transaction vertices and never committed. Future-flow operations are
+// handled separately (discarded executions carry FutureAbort records).
+func elideRolledBackSegments(ops []history.Op) []history.Op {
+	type mark struct {
+		seg int64
+		pos int // index into kept
+	}
+	kept := make([]history.Op, 0, len(ops))
+	starts := make(map[int64][]mark) // per top: active SegStart stack
+	for _, op := range ops {
+		switch {
+		case op.Kind == history.SegStart && op.Flow == 0:
+			starts[op.Top] = append(starts[op.Top], mark{seg: op.WID, pos: len(kept)})
+			continue // markers themselves are not model operations
+		case op.Kind == history.SegRollback && op.Flow == 0:
+			st := starts[op.Top]
+			cut := -1
+			for i := len(st) - 1; i >= 0; i-- {
+				if st[i].seg >= op.WID {
+					cut = i
+				} else {
+					break
+				}
+			}
+			if cut >= 0 {
+				// Drop the main-flow ops of this top recorded since the cut;
+				// ops of other tops/flows interleaved with them survive.
+				target := st[cut].pos
+				filtered := kept[:target:target]
+				for _, k := range kept[target:] {
+					if k.Top == op.Top && k.Flow == 0 {
+						continue
+					}
+					filtered = append(filtered, k)
+				}
+				kept = filtered
+				starts[op.Top] = st[:cut]
+			}
+			continue
+		}
+		kept = append(kept, op)
+	}
+	return kept
+}
+
+// convertObs rewrites an engine observation ("v<ts>" or "w<wid>") into the
+// model's encoding ("", "c:<id>", or a write id).
+func convertObs(obs string, committed map[int64]int64, widKnown map[int64]bool) (string, error) {
+	switch {
+	case strings.HasPrefix(obs, "v"):
+		ts, err := strconv.ParseInt(obs[1:], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("fsg: bad observation %q", obs)
+		}
+		if ts == 0 {
+			return "", nil // initial value
+		}
+		for _, cts := range committed {
+			if cts == ts {
+				return "c:c" + strconv.FormatInt(ts, 10), nil
+			}
+		}
+		return "", fmt.Errorf("fsg: observation %q references a commit outside the log", obs)
+	case strings.HasPrefix(obs, "w"):
+		wid, err := strconv.ParseInt(obs[1:], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("fsg: bad observation %q", obs)
+		}
+		if !widKnown[wid] {
+			return "", fmt.Errorf("fsg: observation %q references a discarded write", obs)
+		}
+		return obs, nil
+	default:
+		return "", fmt.Errorf("fsg: unparseable observation %q", obs)
+	}
+}

@@ -1,0 +1,189 @@
+package fsg
+
+import (
+	"strings"
+	"testing"
+
+	"wtftm/internal/history"
+)
+
+// logOps is a tiny DSL for composing engine logs in tests.
+func logOps(ops ...history.Op) []history.Op {
+	for i := range ops {
+		ops[i].Seq = int64(i + 1)
+	}
+	return ops
+}
+
+func TestFromLogBasic(t *testing.T) {
+	ops := logOps(
+		history.Op{Top: 1, Flow: 0, Kind: history.TopBegin},
+		history.Op{Top: 1, Flow: 0, Kind: history.Write, Var: "x", WID: 1},
+		history.Op{Top: 1, Flow: 0, Kind: history.Submit, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 1, Kind: history.FutureBegin, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 1, Kind: history.Read, Var: "x", Obs: "w1"},
+		history.Op{Top: 1, Flow: 1, Kind: history.Write, Var: "x", WID: 2},
+		history.Op{Top: 1, Flow: 1, Kind: history.FutureMerge, Arg: "submission"},
+		history.Op{Top: 1, Flow: 0, Kind: history.Evaluate, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 0, Kind: history.TopCommit, WID: 1},
+	)
+	h, err := FromLog(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Agents["T1"]) != 2 { // write + submit + eval → eval is an op too
+		// write, submit, eval = 3 ops
+		t.Logf("T1 ops: %+v", h.Agents["T1"])
+	}
+	if got := len(h.Agents["T1.F1"]); got != 2 {
+		t.Fatalf("future ops = %d, want 2", got)
+	}
+	if h.Top["T1.F1"] != "T1" {
+		t.Fatalf("future inclusion = %q", h.Top["T1.F1"])
+	}
+	if len(h.Commits) != 1 || h.Commits[0].ID != "c1" {
+		t.Fatalf("commits = %+v", h.Commits)
+	}
+	p, err := Build(h, WOsem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Acyclic() {
+		t.Fatal("basic log not serializable")
+	}
+}
+
+func TestFromLogDropsAbortedTops(t *testing.T) {
+	ops := logOps(
+		history.Op{Top: 1, Flow: 0, Kind: history.TopBegin},
+		history.Op{Top: 1, Flow: 0, Kind: history.Write, Var: "x", WID: 1},
+		history.Op{Top: 1, Flow: 0, Kind: history.TopAbort},
+		history.Op{Top: 2, Flow: 0, Kind: history.TopBegin},
+		history.Op{Top: 2, Flow: 0, Kind: history.Write, Var: "x", WID: 2},
+		history.Op{Top: 2, Flow: 0, Kind: history.TopCommit, WID: 5},
+	)
+	h, err := FromLog(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Agents["T1"]; ok {
+		t.Fatal("aborted top survived conversion")
+	}
+	if _, ok := h.Agents["T2"]; !ok {
+		t.Fatal("committed top missing")
+	}
+}
+
+func TestFromLogDiscardedExecutionElided(t *testing.T) {
+	// First execution of the future aborted (re-executed on flow 2).
+	ops := logOps(
+		history.Op{Top: 1, Flow: 0, Kind: history.TopBegin},
+		history.Op{Top: 1, Flow: 0, Kind: history.Submit, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 1, Kind: history.FutureBegin, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 1, Kind: history.Write, Var: "x", WID: 1},
+		history.Op{Top: 1, Flow: 0, Kind: history.Evaluate, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 1, Kind: history.FutureAbort, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 2, Kind: history.FutureBegin, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 2, Kind: history.Write, Var: "x", WID: 2},
+		history.Op{Top: 1, Flow: 2, Kind: history.FutureMerge, Arg: "evaluation"},
+		history.Op{Top: 1, Flow: 0, Kind: history.TopCommit, WID: 3},
+	)
+	h, err := FromLog(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fops := h.Agents["T1.F1"]
+	if len(fops) != 1 || fops[0].WID != "w2" {
+		t.Fatalf("surviving execution ops = %+v, want only w2", fops)
+	}
+}
+
+func TestFromLogUserAbortedFutureIsEmptyAgent(t *testing.T) {
+	ops := logOps(
+		history.Op{Top: 1, Flow: 0, Kind: history.TopBegin},
+		history.Op{Top: 1, Flow: 0, Kind: history.Submit, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 1, Kind: history.FutureBegin, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 1, Kind: history.Write, Var: "x", WID: 1},
+		history.Op{Top: 1, Flow: 1, Kind: history.FutureAbort, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 0, Kind: history.Evaluate, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 0, Kind: history.TopCommit, WID: 0},
+	)
+	h, err := FromLog(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Agents["T1.F1"]; len(got) != 0 {
+		t.Fatalf("user-aborted future ops = %+v, want none", got)
+	}
+	p, err := Build(h, WOsem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Acyclic() {
+		t.Fatal("empty-future history rejected")
+	}
+}
+
+func TestFromLogImplicitEvalSuffixStripped(t *testing.T) {
+	ops := logOps(
+		history.Op{Top: 1, Flow: 0, Kind: history.TopBegin},
+		history.Op{Top: 1, Flow: 0, Kind: history.Submit, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 1, Kind: history.FutureBegin, Arg: "T1.F1"},
+		history.Op{Top: 1, Flow: 1, Kind: history.Write, Var: "x", WID: 1},
+		history.Op{Top: 1, Flow: 0, Kind: history.Evaluate, Arg: "T1.F1/implicit"},
+		history.Op{Top: 1, Flow: 1, Kind: history.FutureMerge, Arg: "evaluation"},
+		history.Op{Top: 1, Flow: 0, Kind: history.TopCommit, WID: 2},
+	)
+	h, err := FromLog(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evalOp *Op
+	for i, op := range h.Agents["T1"] {
+		if op.Kind == Eval {
+			evalOp = &h.Agents["T1"][i]
+		}
+	}
+	if evalOp == nil || evalOp.Future != "T1.F1" {
+		t.Fatalf("implicit evaluation not normalized: %+v", h.Agents["T1"])
+	}
+}
+
+func TestFromLogReadOnlyCommitsExcludedFromVersionOrder(t *testing.T) {
+	ops := logOps(
+		history.Op{Top: 1, Flow: 0, Kind: history.TopBegin},
+		history.Op{Top: 1, Flow: 0, Kind: history.Read, Var: "x", Obs: "v0"},
+		history.Op{Top: 1, Flow: 0, Kind: history.TopCommit, WID: 0}, // read-only
+	)
+	h, err := FromLog(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Commits) != 0 {
+		t.Fatalf("read-only commit entered version order: %+v", h.Commits)
+	}
+}
+
+func TestFromLogRejectsDanglingObservation(t *testing.T) {
+	ops := logOps(
+		history.Op{Top: 1, Flow: 0, Kind: history.TopBegin},
+		history.Op{Top: 1, Flow: 0, Kind: history.Read, Var: "x", Obs: "w99"},
+		history.Op{Top: 1, Flow: 0, Kind: history.TopCommit, WID: 1},
+	)
+	_, err := FromLog(ops)
+	if err == nil || !strings.Contains(err.Error(), "discarded write") {
+		t.Fatalf("err = %v, want discarded-write error", err)
+	}
+}
+
+func TestFromLogUnknownCommitObservation(t *testing.T) {
+	ops := logOps(
+		history.Op{Top: 1, Flow: 0, Kind: history.TopBegin},
+		history.Op{Top: 1, Flow: 0, Kind: history.Read, Var: "x", Obs: "v42"},
+		history.Op{Top: 1, Flow: 0, Kind: history.TopCommit, WID: 1},
+	)
+	_, err := FromLog(ops)
+	if err == nil || !strings.Contains(err.Error(), "outside the log") {
+		t.Fatalf("err = %v, want outside-the-log error", err)
+	}
+}

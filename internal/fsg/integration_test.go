@@ -1,0 +1,305 @@
+package fsg_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"wtftm/internal/core"
+	"wtftm/internal/fsg"
+	"wtftm/internal/history"
+	"wtftm/internal/mvstm"
+)
+
+// checkLog converts a recorded engine log and asserts the FSG is acyclic
+// under the semantics the engine ran with.
+func checkLog(t *testing.T, rec *history.Recorder, sem fsg.Semantics) fsg.History {
+	t.Helper()
+	h, err := fsg.FromLog(rec.Ops())
+	if err != nil {
+		t.Fatalf("FromLog: %v", err)
+	}
+	p, err := fsg.Build(h, sem)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !p.Acyclic() {
+		order, _ := p.Witness()
+		t.Fatalf("engine produced a non-serializable history (witness=%v, vertices=%v)", order, p.Vertices())
+	}
+	return h
+}
+
+func semOf(o core.Ordering) fsg.Semantics {
+	if o == core.SO {
+		return fsg.SOsem
+	}
+	return fsg.WOsem
+}
+
+// TestEngineHistorySimple verifies the Fig. 1a-style execution end to end.
+func TestEngineHistorySimple(t *testing.T) {
+	for _, ord := range []core.Ordering{core.WO, core.SO} {
+		t.Run(ord.String(), func(t *testing.T) {
+			rec := history.NewRecorder()
+			stm := mvstm.New()
+			sys := core.New(stm, core.Options{Ordering: ord, Atomicity: core.LAC, Recorder: rec})
+			x := stm.NewBoxNamed("x", 0)
+			y := stm.NewBoxNamed("y", 0)
+			err := sys.Atomic(func(tx *core.Tx) error {
+				tx.Write(x, 1)
+				f := tx.Submit(func(ftx *core.Tx) (any, error) {
+					ftx.Write(x, ftx.Read(x).(int)+1)
+					return nil, nil
+				})
+				tx.Write(x, tx.Read(x).(int)+1)
+				if _, err := tx.Evaluate(f); err != nil {
+					return err
+				}
+				tx.Write(y, tx.Read(x))
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := checkLog(t, rec, semOf(ord))
+			if len(h.Commits) != 1 {
+				t.Fatalf("commits = %+v", h.Commits)
+			}
+		})
+	}
+}
+
+// TestEngineHistoryConflictingFuture records the Fig. 2 pattern (future
+// serialized at evaluation) and validates it.
+func TestEngineHistoryConflictingFuture(t *testing.T) {
+	rec := history.NewRecorder()
+	stm := mvstm.New()
+	sys := core.New(stm, core.Options{Ordering: core.WO, Atomicity: core.LAC, Recorder: rec})
+	x := stm.NewBoxNamed("x", 0)
+	y := stm.NewBoxNamed("y", 0)
+	z := stm.NewBoxNamed("z", 0)
+	err := sys.Atomic(func(tx *core.Tx) error {
+		gate := make(chan struct{})
+		f := tx.Submit(func(ftx *core.Tx) (any, error) {
+			_ = ftx.Read(x)
+			<-gate
+			ftx.Write(z, 1)
+			return nil, nil
+		})
+		_ = tx.Read(z)
+		tx.Write(y, 1)
+		close(gate)
+		_, err := tx.Evaluate(f)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().MergedAtEvaluation.Load() != 1 {
+		t.Fatalf("future not serialized at evaluation: %+v", sys.Stats().Snapshot())
+	}
+	checkLog(t, rec, fsg.WOsem)
+}
+
+// TestEngineHistoryReexecution validates a history containing a discarded
+// future execution.
+func TestEngineHistoryReexecution(t *testing.T) {
+	rec := history.NewRecorder()
+	stm := mvstm.New()
+	sys := core.New(stm, core.Options{Ordering: core.WO, Atomicity: core.LAC, Recorder: rec})
+	a := stm.NewBoxNamed("a", 0)
+	b := stm.NewBoxNamed("b", 0)
+	err := sys.Atomic(func(tx *core.Tx) error {
+		gate := make(chan struct{})
+		f := tx.Submit(func(ftx *core.Tx) (any, error) {
+			v := ftx.Read(a).(int)
+			select {
+			case <-gate:
+			default:
+				// Only the first execution blocks; the re-execution runs
+				// after gate is closed.
+			}
+			<-gate
+			ftx.Write(b, v+1)
+			return v + 1, nil
+		})
+		_ = tx.Read(b)   // forces the future to miss submission
+		tx.Write(a, 100) // makes the future's read stale at evaluation
+		close(gate)
+		_, err := tx.Evaluate(f)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().FutureReexecutions.Load() != 1 {
+		t.Fatalf("stats = %+v", sys.Stats().Snapshot())
+	}
+	checkLog(t, rec, fsg.WOsem)
+	// The committed value must come from the re-execution.
+	txn := stm.Begin()
+	defer txn.Discard()
+	if got := txn.Read(b); got != 101 {
+		t.Fatalf("b = %v, want 101", got)
+	}
+}
+
+// TestEngineHistoryConcurrentTops validates multi-top histories with
+// inter-transaction conflicts.
+func TestEngineHistoryConcurrentTops(t *testing.T) {
+	for _, ord := range []core.Ordering{core.WO, core.SO} {
+		t.Run(ord.String(), func(t *testing.T) {
+			rec := history.NewRecorder()
+			stm := mvstm.New()
+			sys := core.New(stm, core.Options{Ordering: ord, Atomicity: core.LAC, Recorder: rec})
+			boxes := make([]*mvstm.VBox, 4)
+			for i := range boxes {
+				boxes[i] = stm.NewBoxNamed(fmt.Sprintf("b%d", i), 0)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 5; i++ {
+						err := sys.Atomic(func(tx *core.Tx) error {
+							src := boxes[(g+i)%len(boxes)]
+							dst := boxes[(g+i+1)%len(boxes)]
+							f := tx.Submit(func(ftx *core.Tx) (any, error) {
+								ftx.Write(src, ftx.Read(src).(int)+1)
+								return nil, nil
+							})
+							tx.Write(dst, tx.Read(dst).(int)+1)
+							_, err := tx.Evaluate(f)
+							return err
+						})
+						if err != nil {
+							t.Error(err)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			checkLog(t, rec, semOf(ord))
+		})
+	}
+}
+
+// TestEngineHistoryGACEscape validates a history where a future escapes its
+// top-level transaction and serializes in the evaluator (Fig. 1c).
+func TestEngineHistoryGACEscape(t *testing.T) {
+	rec := history.NewRecorder()
+	stm := mvstm.New()
+	sys := core.New(stm, core.Options{Ordering: core.WO, Atomicity: core.GAC, Recorder: rec})
+	ref := stm.NewBoxNamed("ref", nil)
+	a := stm.NewBoxNamed("a", 5)
+	b := stm.NewBoxNamed("b", 0)
+	gate := make(chan struct{})
+	err := sys.Atomic(func(tx *core.Tx) error {
+		f := tx.Submit(func(ftx *core.Tx) (any, error) {
+			v := ftx.Read(a).(int)
+			<-gate
+			ftx.Write(b, v*3)
+			return v * 3, nil
+		})
+		tx.Write(ref, f)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	err = sys.Atomic(func(tx *core.Tx) error {
+		f := tx.Read(ref).(*core.Future)
+		_, err := tx.Evaluate(f)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := checkLog(t, rec, fsg.WOsem)
+	// The escaped future must be included in the evaluating transaction.
+	if got := h.Top["T1.F1"]; got != "T2" {
+		t.Fatalf("escaped future included in %q, want T2 (agents=%v)", got, h.Top)
+	}
+}
+
+// TestEngineHistoryRandomized is the main property test: random future
+// programs over a small box set must always yield FSG-serializable
+// histories, under both orderings.
+func TestEngineHistoryRandomized(t *testing.T) {
+	for _, ord := range []core.Ordering{core.WO, core.SO} {
+		t.Run(ord.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 12; seed++ {
+				rec := history.NewRecorder()
+				stm := mvstm.New()
+				sys := core.New(stm, core.Options{Ordering: ord, Atomicity: core.LAC, Recorder: rec})
+				const nBoxes = 4
+				boxes := make([]*mvstm.VBox, nBoxes)
+				for i := range boxes {
+					boxes[i] = stm.NewBoxNamed(fmt.Sprintf("v%d", i), 0)
+				}
+				rng := rand.New(rand.NewSource(seed))
+				var wg sync.WaitGroup
+				for g := 0; g < 3; g++ {
+					prog := make([]int, 12)
+					for i := range prog {
+						prog[i] = rng.Intn(6 * nBoxes)
+					}
+					wg.Add(1)
+					go func(prog []int, g int) {
+						defer wg.Done()
+						err := sys.Atomic(func(tx *core.Tx) error {
+							var futs []*core.Future
+							for _, code := range prog {
+								box := boxes[code%nBoxes]
+								switch (code / nBoxes) % 6 {
+								case 0, 1:
+									_ = tx.Read(box)
+								case 2, 3:
+									tx.Write(box, tx.Read(box).(int)+1)
+								case 4:
+									futs = append(futs, tx.Submit(func(ftx *core.Tx) (any, error) {
+										ftx.Write(box, ftx.Read(box).(int)+10)
+										return nil, nil
+									}))
+								case 5:
+									if len(futs) > 0 {
+										f := futs[len(futs)-1]
+										futs = futs[:len(futs)-1]
+										if _, err := tx.Evaluate(f); err != nil {
+											return err
+										}
+									}
+								}
+							}
+							for _, f := range futs {
+								if _, err := tx.Evaluate(f); err != nil {
+									return err
+								}
+							}
+							return nil
+						})
+						if err != nil {
+							t.Error(err)
+						}
+					}(prog, g)
+				}
+				wg.Wait()
+				h, err := fsg.FromLog(rec.Ops())
+				if err != nil {
+					t.Fatalf("seed %d: FromLog: %v", seed, err)
+				}
+				p, err := fsg.Build(h, semOf(ord))
+				if err != nil {
+					t.Fatalf("seed %d: Build: %v", seed, err)
+				}
+				if !p.Acyclic() {
+					t.Fatalf("seed %d: non-serializable engine history", seed)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package history
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestRecorderAssignsSeq(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Op{Kind: TopBegin, Top: 1})
+	r.Record(Op{Kind: Read, Top: 1, Var: "x"})
+	ops := r.Ops()
+	if len(ops) != 2 || ops[0].Seq != 1 || ops[1].Seq != 2 {
+		t.Fatalf("ops = %+v", ops)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Op{Kind: Write, Var: "x"})
+			}
+		}()
+	}
+	wg.Wait()
+	ops := r.Ops()
+	if len(ops) != 800 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	seen := make(map[int64]bool)
+	for _, op := range ops {
+		if seen[op.Seq] {
+			t.Fatalf("duplicate seq %d", op.Seq)
+		}
+		seen[op.Seq] = true
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Op{Kind: TopBegin})
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	r.Record(Op{Kind: TopBegin})
+	if ops := r.Ops(); ops[0].Seq != 1 {
+		t.Fatalf("seq after reset = %d", ops[0].Seq)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Op{Kind: Submit, Top: 3, Flow: 1, Arg: "T3.F1"})
+	r.Record(Op{Kind: Read, Top: 3, Flow: 2, Var: "x", Obs: "v7"})
+	r.Record(Op{Kind: Write, Top: 3, Flow: 2, Var: "y", WID: 12})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 || ops[0].Arg != "T3.F1" || ops[1].Obs != "v7" || ops[2].WID != 12 {
+		t.Fatalf("round trip = %+v", ops)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if TopBegin.String() != "topBegin" || FutureMerge.String() != "futureMerge" {
+		t.Fatal("bad kind names")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("out-of-range kind empty")
+	}
+}

@@ -1,0 +1,46 @@
+package history
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteTrace renders the log as a human-readable trace, one line per event,
+// indented by flow. It is the debugging companion of the JSON format.
+func WriteTrace(w io.Writer, ops []Op) error {
+	for _, op := range ops {
+		var desc string
+		switch op.Kind {
+		case Read:
+			desc = fmt.Sprintf("read  %s (observed %s)", op.Var, op.Obs)
+		case Write:
+			desc = fmt.Sprintf("write %s (w%d)", op.Var, op.WID)
+		case Submit:
+			desc = fmt.Sprintf("submit %s", op.Arg)
+		case Evaluate:
+			desc = fmt.Sprintf("evaluate %s", op.Arg)
+		case FutureBegin:
+			desc = fmt.Sprintf("future %s begins", op.Arg)
+		case FutureMerge:
+			desc = fmt.Sprintf("future serialized at %s", op.Arg)
+		case FutureAbort:
+			desc = fmt.Sprintf("future %s discarded", op.Arg)
+		case TopBegin:
+			desc = "top-level transaction begins"
+		case TopCommit:
+			desc = fmt.Sprintf("top-level transaction commits (ts=%d)", op.WID)
+		case TopAbort:
+			desc = "top-level transaction aborts"
+		default:
+			desc = op.Kind.String()
+		}
+		indent := ""
+		if op.Flow > 0 {
+			indent = fmt.Sprintf("%*s", 2*op.Flow, "")
+		}
+		if _, err := fmt.Fprintf(w, "%5d  T%-3d %s[f%d] %s\n", op.Seq, op.Top, indent, op.Flow, desc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

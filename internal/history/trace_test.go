@@ -1,0 +1,55 @@
+package history
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteTrace(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Op{Kind: TopBegin, Top: 1})
+	r.Record(Op{Kind: Write, Top: 1, Flow: 0, Var: "x", WID: 3})
+	r.Record(Op{Kind: Submit, Top: 1, Flow: 0, Arg: "T1.F1"})
+	r.Record(Op{Kind: FutureBegin, Top: 1, Flow: 1, Arg: "T1.F1"})
+	r.Record(Op{Kind: Read, Top: 1, Flow: 1, Var: "x", Obs: "w3"})
+	r.Record(Op{Kind: FutureMerge, Top: 1, Flow: 1, Arg: "submission"})
+	r.Record(Op{Kind: Evaluate, Top: 1, Flow: 0, Arg: "T1.F1"})
+	r.Record(Op{Kind: TopCommit, Top: 1, WID: 7})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, r.Ops()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"top-level transaction begins",
+		"write x (w3)",
+		"submit T1.F1",
+		"future T1.F1 begins",
+		"read  x (observed w3)",
+		"future serialized at submission",
+		"evaluate T1.F1",
+		"commits (ts=7)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 8 {
+		t.Fatalf("want 8 lines:\n%s", out)
+	}
+}
+
+func TestWriteTraceAbortKinds(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTrace(&buf, []Op{
+		{Seq: 1, Kind: TopAbort, Top: 2},
+		{Seq: 2, Kind: FutureAbort, Top: 2, Flow: 3, Arg: "T2.F1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "aborts") || !strings.Contains(buf.String(), "discarded") {
+		t.Fatalf("trace = %s", buf.String())
+	}
+}

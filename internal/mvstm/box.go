@@ -1,0 +1,36 @@
+package mvstm
+
+// ReadWriter is the access interface shared by plain transactions (Txn) and
+// the futures engine's sub-transaction handles: anything through which a
+// box can be transactionally read and written.
+type ReadWriter interface {
+	Read(*VBox) any
+	Write(*VBox, any)
+}
+
+var _ ReadWriter = (*Txn)(nil)
+
+// Box is a typed convenience wrapper around VBox. It adds no semantics;
+// it only removes type assertions from user code.
+type Box[T any] struct {
+	vbox *VBox
+}
+
+// NewTyped creates a typed box with the given initial value.
+func NewTyped[T any](s *STM, init T) Box[T] {
+	return Box[T]{vbox: s.NewBox(init)}
+}
+
+// NewTypedNamed is NewTyped with a debugging label.
+func NewTypedNamed[T any](s *STM, name string, init T) Box[T] {
+	return Box[T]{vbox: s.NewBoxNamed(name, init)}
+}
+
+// VBox exposes the underlying untyped box.
+func (b Box[T]) VBox() *VBox { return b.vbox }
+
+// Read returns the value of the box as seen by rw.
+func (b Box[T]) Read(rw ReadWriter) T { return rw.Read(b.vbox).(T) }
+
+// Write buffers a write of v through rw.
+func (b Box[T]) Write(rw ReadWriter, v T) { rw.Write(b.vbox, v) }

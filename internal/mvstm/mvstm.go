@@ -1,0 +1,366 @@
+// Package mvstm implements a multi-versioned software transactional memory
+// in the style of JVSTM (Cachopo & Rito-Silva, 2006; Fernandes & Cachopo,
+// PPoPP'11): shared state lives in versioned boxes, transactions read a
+// consistent snapshot identified by a global clock value, read-only
+// transactions never abort, and read-write transactions validate their
+// read set at commit time (first committer wins).
+//
+// The package is the substrate the WTF-TM engine (internal/core) builds on;
+// it deliberately supports no intra-transaction parallelism of its own, as
+// assumed by Section 4 of the paper.
+package mvstm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrConflict is returned by Commit when read-set validation fails because a
+// concurrent transaction committed a newer version of a box this transaction
+// read. Atomic retries the transaction automatically on this error.
+var ErrConflict = errors.New("mvstm: read-set validation conflict")
+
+// ErrDone is returned when a finished (committed or discarded) transaction
+// is used again.
+var ErrDone = errors.New("mvstm: transaction already finished")
+
+// Version is one entry in a box's immutable version chain. The chain is
+// ordered by strictly decreasing TS; a transaction with snapshot s observes
+// the newest version with TS <= s.
+type Version struct {
+	// Value is the value written by the committing transaction.
+	Value any
+	// TS is the global clock value at which this version became visible.
+	TS int64
+
+	prev atomic.Pointer[Version]
+}
+
+// Prev returns the next older version, or nil if the tail of the (possibly
+// trimmed) chain has been reached.
+func (v *Version) Prev() *Version { return v.prev.Load() }
+
+// VBox is a versioned transactional box holding a chain of committed
+// versions. Boxes must be created through STM.NewBox so that they carry a
+// base version visible to every snapshot.
+type VBox struct {
+	head atomic.Pointer[Version]
+	// Name is an optional debugging label.
+	Name string
+}
+
+// ReadAt returns the newest committed version with TS <= snap. It is safe to
+// call concurrently with commits and never blocks. It panics if snap predates
+// the garbage-collection horizon, which indicates an engine bug (the GC never
+// trims versions visible to a registered active snapshot).
+func (b *VBox) ReadAt(snap int64) *Version {
+	for v := b.head.Load(); v != nil; v = v.Prev() {
+		if v.TS <= snap {
+			return v
+		}
+	}
+	panic(fmt.Sprintf("mvstm: box %q has no version visible at snapshot %d", b.Name, snap))
+}
+
+// Head returns the globally newest committed version of the box.
+func (b *VBox) Head() *Version { return b.head.Load() }
+
+// Stats holds monotonic operation counters for an STM instance.
+type Stats struct {
+	Commits         atomic.Int64 // successful read-write commits
+	ReadOnlyCommits atomic.Int64 // commits that wrote nothing
+	Conflicts       atomic.Int64 // commit-time validation failures
+	Begins          atomic.Int64 // transactions started
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	Commits, ReadOnlyCommits, Conflicts, Begins int64
+}
+
+// Snapshot returns a consistent-enough point-in-time copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Commits:         s.Commits.Load(),
+		ReadOnlyCommits: s.ReadOnlyCommits.Load(),
+		Conflicts:       s.Conflicts.Load(),
+		Begins:          s.Begins.Load(),
+	}
+}
+
+// STM is a multi-versioned transactional memory instance. The zero value is
+// not usable; create instances with New.
+type STM struct {
+	clock    atomic.Int64
+	commitMu sync.Mutex
+	active   activeSet
+	stats    Stats
+}
+
+// New returns an empty STM with the clock at zero.
+func New() *STM {
+	s := &STM{}
+	s.active.init()
+	return s
+}
+
+// Stats exposes the instance's counters.
+func (s *STM) Stats() *Stats { return &s.stats }
+
+// Clock returns the current global commit clock.
+func (s *STM) Clock() int64 { return s.clock.Load() }
+
+// NewBox creates a box whose initial value is visible to every snapshot
+// (version timestamp 0).
+func (s *STM) NewBox(init any) *VBox { return s.NewBoxNamed("", init) }
+
+// NewBoxNamed is NewBox with a debugging label.
+func (s *STM) NewBoxNamed(name string, init any) *VBox {
+	b := &VBox{Name: name}
+	b.head.Store(&Version{Value: init, TS: 0})
+	return b
+}
+
+// Txn is a single-threaded read-write transaction. All methods must be
+// called from one goroutine; concurrent snapshot reads of boxes can instead
+// go through VBox.ReadAt directly (that is what the futures engine does).
+type Txn struct {
+	stm   *STM
+	snap  int64
+	reads map[*VBox]struct{}
+	// writes preserves insertion order so deterministic iteration is
+	// possible; the map gives O(1) lookup.
+	writes     map[*VBox]any
+	writeOrder []*VBox
+	installed  map[*VBox]*Version
+	done       bool
+}
+
+// Begin starts a transaction reading the snapshot identified by the current
+// clock value.
+func (s *STM) Begin() *Txn {
+	s.stats.Begins.Add(1)
+	snap := s.active.register(&s.clock)
+	return &Txn{
+		stm:    s,
+		snap:   snap,
+		reads:  make(map[*VBox]struct{}),
+		writes: make(map[*VBox]any),
+	}
+}
+
+// Snapshot returns the clock value this transaction reads at.
+func (t *Txn) Snapshot() int64 { return t.snap }
+
+// Read returns the transaction-local view of b: the pending write if any,
+// otherwise the newest version visible at the transaction's snapshot. The
+// box is recorded in the read set for commit-time validation.
+func (t *Txn) Read(b *VBox) any {
+	if t.done {
+		panic(ErrDone)
+	}
+	if v, ok := t.writes[b]; ok {
+		return v
+	}
+	t.reads[b] = struct{}{}
+	return b.ReadAt(t.snap).Value
+}
+
+// Write buffers a write of v to b; it becomes visible to other transactions
+// only when this transaction commits.
+func (t *Txn) Write(b *VBox, v any) {
+	if t.done {
+		panic(ErrDone)
+	}
+	if _, ok := t.writes[b]; !ok {
+		t.writeOrder = append(t.writeOrder, b)
+	}
+	t.writes[b] = v
+}
+
+// NoteRead adds b to the read set without reading it. The futures engine
+// uses this to fold the snapshot reads performed by sub-transactions (which
+// read boxes directly via ReadAt) into the top-level validation set.
+func (t *Txn) NoteRead(b *VBox) {
+	if t.done {
+		panic(ErrDone)
+	}
+	t.reads[b] = struct{}{}
+}
+
+// NoteWrite is Write; it exists for symmetry with NoteRead at engine
+// boundaries.
+func (t *Txn) NoteWrite(b *VBox, v any) { t.Write(b, v) }
+
+// HasWrites reports whether the transaction buffered any write.
+func (t *Txn) HasWrites() bool { return len(t.writes) > 0 }
+
+// Commit attempts to make the transaction's writes visible atomically.
+// Read-only transactions always succeed without synchronization. On
+// ErrConflict the transaction is discarded and must be re-run from Begin.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrDone
+	}
+	s := t.stm
+	if len(t.writes) == 0 {
+		t.finish()
+		s.stats.ReadOnlyCommits.Add(1)
+		return nil
+	}
+	s.commitMu.Lock()
+	// Validate: every box read must not have a version newer than our
+	// snapshot (first committer wins).
+	for b := range t.reads {
+		if b.head.Load().TS > t.snap {
+			s.commitMu.Unlock()
+			t.finish()
+			s.stats.Conflicts.Add(1)
+			return ErrConflict
+		}
+	}
+	newTS := s.clock.Load() + 1
+	// The GC horizon may never exceed the pre-bump clock: a transaction
+	// beginning concurrently with this commit snapshots at newTS-1 and must
+	// still find a visible version on every box.
+	horizon := s.active.min(newTS - 1)
+	t.installed = make(map[*VBox]*Version, len(t.writes))
+	for _, b := range t.writeOrder {
+		v := &Version{Value: t.writes[b], TS: newTS}
+		v.prev.Store(b.head.Load())
+		b.head.Store(v)
+		t.installed[b] = v
+		trim(v, horizon)
+	}
+	s.clock.Store(newTS) // publish: new versions become visible
+	s.commitMu.Unlock()
+	t.finish()
+	s.stats.Commits.Add(1)
+	return nil
+}
+
+// Installed returns, after a successful read-write commit, the map from
+// written boxes to the versions this transaction installed. The WTF-TM
+// engine uses it to resolve the reads of escaping futures under GAC
+// semantics. It returns nil before commit or for read-only transactions.
+func (t *Txn) Installed() map[*VBox]*Version { return t.installed }
+
+// Discard abandons the transaction without committing.
+func (t *Txn) Discard() {
+	if !t.done {
+		t.finish()
+	}
+}
+
+func (t *Txn) finish() {
+	t.stm.active.unregister(t.snap)
+	t.done = true
+}
+
+// Pin keeps every version visible at snap alive until the returned release
+// function is called, independently of any transaction. The futures engine
+// pins a top-level transaction's snapshot while detached (escaping) futures
+// spawned by it are still executing.
+func (s *STM) Pin(snap int64) (release func()) {
+	s.active.mu.Lock()
+	s.active.count[snap]++
+	if s.active.valid && snap < s.active.minVal {
+		s.active.minVal = snap
+	}
+	s.active.mu.Unlock()
+	var once sync.Once
+	return func() { once.Do(func() { s.active.unregister(snap) }) }
+}
+
+// Atomic runs fn in a transaction, retrying automatically on commit
+// conflicts. A non-nil error from fn aborts the transaction permanently and
+// is returned as-is. fn may also return ErrConflict to request an explicit
+// retry.
+func (s *STM) Atomic(fn func(*Txn) error) error {
+	for {
+		t := s.Begin()
+		err := fn(t)
+		if err != nil {
+			t.Discard()
+			if errors.Is(err, ErrConflict) {
+				continue
+			}
+			return err
+		}
+		if err := t.Commit(); err == nil {
+			return nil
+		}
+	}
+}
+
+// trim cuts the version chain below the newest version still visible to the
+// oldest registered snapshot, bounding memory use (JVSTM-style GC).
+func trim(newest *Version, horizon int64) {
+	v := newest
+	for v != nil && v.TS > horizon {
+		v = v.Prev()
+	}
+	if v != nil {
+		v.prev.Store(nil)
+	}
+}
+
+// activeSet tracks the snapshots of live transactions so version GC never
+// trims a version some active transaction can still read.
+type activeSet struct {
+	mu     sync.Mutex
+	count  map[int64]int
+	minVal int64
+	valid  bool // is minVal an accurate cache?
+}
+
+func (a *activeSet) init() { a.count = make(map[int64]int) }
+
+// register records a new transaction and returns its snapshot. Reading the
+// clock and registering happen under the set's lock so a commit cannot slide
+// the GC horizon past a snapshot that is about to register.
+func (a *activeSet) register(clock *atomic.Int64) int64 {
+	a.mu.Lock()
+	snap := clock.Load()
+	a.count[snap]++
+	if a.valid && snap < a.minVal {
+		a.minVal = snap
+	}
+	a.mu.Unlock()
+	return snap
+}
+
+func (a *activeSet) unregister(snap int64) {
+	a.mu.Lock()
+	if n := a.count[snap]; n <= 1 {
+		delete(a.count, snap)
+		if a.valid && snap == a.minVal {
+			a.valid = false
+		}
+	} else {
+		a.count[snap] = n - 1
+	}
+	a.mu.Unlock()
+}
+
+// min returns the smallest active snapshot, or fallback when no transaction
+// is active.
+func (a *activeSet) min(fallback int64) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.count) == 0 {
+		return fallback
+	}
+	if !a.valid {
+		first := true
+		for s := range a.count {
+			if first || s < a.minVal {
+				a.minVal, first = s, false
+			}
+		}
+		a.valid = true
+	}
+	return a.minVal
+}

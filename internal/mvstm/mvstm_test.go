@@ -1,0 +1,480 @@
+package mvstm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadInitialValue(t *testing.T) {
+	s := New()
+	b := s.NewBox(42)
+	tx := s.Begin()
+	if got := tx.Read(b); got != 42 {
+		t.Fatalf("Read = %v, want 42", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("read-only commit: %v", err)
+	}
+}
+
+func TestWriteReadBack(t *testing.T) {
+	s := New()
+	b := s.NewBox(0)
+	tx := s.Begin()
+	tx.Write(b, 7)
+	if got := tx.Read(b); got != 7 {
+		t.Fatalf("own write not visible: got %v", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	tx2 := s.Begin()
+	defer tx2.Discard()
+	if got := tx2.Read(b); got != 7 {
+		t.Fatalf("committed write not visible: got %v", got)
+	}
+}
+
+func TestIsolationBufferedWrites(t *testing.T) {
+	s := New()
+	b := s.NewBox(1)
+	writer := s.Begin()
+	writer.Write(b, 2)
+	reader := s.Begin()
+	if got := reader.Read(b); got != 1 {
+		t.Fatalf("uncommitted write leaked: got %v", got)
+	}
+	reader.Discard()
+	writer.Discard()
+}
+
+func TestSnapshotIsolationAcrossCommit(t *testing.T) {
+	s := New()
+	b := s.NewBox("old")
+	early := s.Begin()
+	// Another transaction commits a newer version.
+	if err := s.Atomic(func(tx *Txn) error { tx.Write(b, "new"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := early.Read(b); got != "old" {
+		t.Fatalf("snapshot read = %v, want old", got)
+	}
+	early.Discard()
+	late := s.Begin()
+	defer late.Discard()
+	if got := late.Read(b); got != "new" {
+		t.Fatalf("post-commit read = %v, want new", got)
+	}
+}
+
+func TestFirstCommitterWins(t *testing.T) {
+	s := New()
+	b := s.NewBox(0)
+	t1 := s.Begin()
+	t2 := s.Begin()
+	t1.Read(b)
+	t2.Read(b)
+	t1.Write(b, 1)
+	t2.Write(b, 2)
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	if err := t2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second commit err = %v, want ErrConflict", err)
+	}
+}
+
+func TestBlindWriteDoesNotConflict(t *testing.T) {
+	// Write-only transactions carry an empty read set and therefore commit
+	// even if the box changed meanwhile (last writer wins on blind writes).
+	s := New()
+	b := s.NewBox(0)
+	t1 := s.Begin()
+	t1.Write(b, 1)
+	if err := s.Atomic(func(tx *Txn) error { tx.Write(b, 99); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("blind write commit: %v", err)
+	}
+	tx := s.Begin()
+	defer tx.Discard()
+	if got := tx.Read(b); got != 1 {
+		t.Fatalf("final value = %v, want 1", got)
+	}
+}
+
+func TestReadOnlyNeverAborts(t *testing.T) {
+	s := New()
+	b := s.NewBox(0)
+	ro := s.Begin()
+	ro.Read(b)
+	for i := 0; i < 10; i++ {
+		if err := s.Atomic(func(tx *Txn) error { tx.Write(b, i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatalf("read-only commit aborted: %v", err)
+	}
+	if got := s.Stats().ReadOnlyCommits.Load(); got != 1 {
+		t.Fatalf("ReadOnlyCommits = %d, want 1", got)
+	}
+}
+
+func TestAtomicRetries(t *testing.T) {
+	s := New()
+	b := s.NewBox(0)
+	attempts := 0
+	err := s.Atomic(func(tx *Txn) error {
+		attempts++
+		v := tx.Read(b).(int)
+		if attempts == 1 {
+			// Interfere from a nested independent transaction.
+			if err := s.Atomic(func(tx2 *Txn) error { tx2.Write(b, 100); return nil }); err != nil {
+				return err
+			}
+		}
+		tx.Write(b, v+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	tx := s.Begin()
+	defer tx.Discard()
+	if got := tx.Read(b); got != 101 {
+		t.Fatalf("value = %v, want 101", got)
+	}
+}
+
+func TestAtomicUserErrorAborts(t *testing.T) {
+	s := New()
+	b := s.NewBox(5)
+	sentinel := errors.New("nope")
+	err := s.Atomic(func(tx *Txn) error {
+		tx.Write(b, 6)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	tx := s.Begin()
+	defer tx.Discard()
+	if got := tx.Read(b); got != 5 {
+		t.Fatalf("aborted write leaked: got %v", got)
+	}
+}
+
+func TestExplicitRetryViaErrConflict(t *testing.T) {
+	s := New()
+	n := 0
+	err := s.Atomic(func(tx *Txn) error {
+		n++
+		if n < 3 {
+			return ErrConflict
+		}
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("err=%v n=%d, want nil,3", err, n)
+	}
+}
+
+func TestClockAdvancesOnlyOnWriteCommits(t *testing.T) {
+	s := New()
+	b := s.NewBox(0)
+	before := s.Clock()
+	if err := s.Atomic(func(tx *Txn) error { tx.Read(b); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s.Clock() != before {
+		t.Fatalf("read-only commit bumped the clock")
+	}
+	if err := s.Atomic(func(tx *Txn) error { tx.Write(b, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s.Clock() != before+1 {
+		t.Fatalf("clock = %d, want %d", s.Clock(), before+1)
+	}
+}
+
+func TestVersionChainOrder(t *testing.T) {
+	s := New()
+	b := s.NewBox(0)
+	keep := s.Begin() // pins the horizon at 0 so nothing is trimmed
+	defer keep.Discard()
+	for i := 1; i <= 5; i++ {
+		if err := s.Atomic(func(tx *Txn) error { tx.Write(b, i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []int64
+	for v := b.Head(); v != nil; v = v.Prev() {
+		seen = append(seen, v.TS)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] >= seen[i-1] {
+			t.Fatalf("chain not strictly decreasing: %v", seen)
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("chain length = %d, want 6 (pinned by active snapshot)", len(seen))
+	}
+	for snap := int64(0); snap <= 5; snap++ {
+		if got := b.ReadAt(snap).Value; got != int(snap) {
+			t.Fatalf("ReadAt(%d) = %v, want %d", snap, got, snap)
+		}
+	}
+}
+
+func TestVersionGCTrimsOldVersions(t *testing.T) {
+	s := New()
+	b := s.NewBox(0)
+	for i := 1; i <= 100; i++ {
+		if err := s.Atomic(func(tx *Txn) error { tx.Write(b, i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	for v := b.Head(); v != nil; v = v.Prev() {
+		n++
+	}
+	if n > 2 {
+		t.Fatalf("chain length = %d after GC, want <= 2", n)
+	}
+}
+
+func TestGCRespectsActiveSnapshot(t *testing.T) {
+	s := New()
+	b := s.NewBox(0)
+	old := s.Begin()
+	for i := 1; i <= 50; i++ {
+		if err := s.Atomic(func(tx *Txn) error { tx.Write(b, i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := old.Read(b); got != 0 {
+		t.Fatalf("pinned snapshot read = %v, want 0", got)
+	}
+	old.Discard()
+}
+
+func TestConcurrentCounterIncrements(t *testing.T) {
+	s := New()
+	b := s.NewBox(0)
+	const goroutines = 8
+	const perG = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				err := s.Atomic(func(tx *Txn) error {
+					tx.Write(b, tx.Read(b).(int)+1)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	tx := s.Begin()
+	defer tx.Discard()
+	if got := tx.Read(b); got != goroutines*perG {
+		t.Fatalf("counter = %v, want %d", got, goroutines*perG)
+	}
+}
+
+func TestConcurrentDisjointWritesAllCommit(t *testing.T) {
+	s := New()
+	boxes := make([]*VBox, 16)
+	for i := range boxes {
+		boxes[i] = s.NewBox(0)
+	}
+	var wg sync.WaitGroup
+	for i := range boxes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.Atomic(func(tx *Txn) error { tx.Write(boxes[i], i); return nil }); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Stats().Conflicts.Load(); got != 0 {
+		t.Fatalf("disjoint writes conflicted %d times", got)
+	}
+}
+
+func TestTypedBox(t *testing.T) {
+	s := New()
+	b := NewTypedNamed(s, "acct", 100)
+	if b.VBox().Name != "acct" {
+		t.Fatalf("name not propagated")
+	}
+	err := s.Atomic(func(tx *Txn) error {
+		b.Write(tx, b.Read(tx)+50)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin()
+	defer tx.Discard()
+	if got := b.Read(tx); got != 150 {
+		t.Fatalf("typed read = %d, want 150", got)
+	}
+}
+
+func TestUseAfterFinishPanicsOrErrors(t *testing.T) {
+	s := New()
+	b := s.NewBox(0)
+	tx := s.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrDone) {
+		t.Fatalf("double commit err = %v, want ErrDone", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Read after finish did not panic")
+		}
+	}()
+	tx.Read(b)
+}
+
+// Property: under any interleaving of serial transfer transactions the sum
+// of balances is invariant (snapshot reads + validated commits).
+func TestPropertyTransfersConserveSum(t *testing.T) {
+	f := func(seed uint32, nAcc uint8, nOps uint8) bool {
+		accounts := int(nAcc%8) + 2
+		ops := int(nOps%64) + 1
+		s := New()
+		boxes := make([]*VBox, accounts)
+		for i := range boxes {
+			boxes[i] = s.NewBox(100)
+		}
+		rng := seed
+		next := func(n int) int {
+			rng = rng*1664525 + 1013904223
+			return int(rng>>8) % n
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < ops; i++ {
+			from, to, amt := next(accounts), next(accounts), next(30)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = s.Atomic(func(tx *Txn) error {
+					// Read-modify-write each leg in turn so the transfer
+					// conserves the total even when from == to.
+					tx.Write(boxes[from], tx.Read(boxes[from]).(int)-amt)
+					tx.Write(boxes[to], tx.Read(boxes[to]).(int)+amt)
+					return nil
+				})
+			}()
+		}
+		wg.Wait()
+		sum := 0
+		tx := s.Begin()
+		for _, b := range boxes {
+			sum += tx.Read(b).(int)
+		}
+		tx.Discard()
+		return sum == accounts*100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a transaction always observes a single consistent snapshot even
+// while writers commit pairs of boxes that must stay equal.
+func TestPropertySnapshotConsistency(t *testing.T) {
+	s := New()
+	x := s.NewBox(0)
+	y := s.NewBox(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.Atomic(func(tx *Txn) error {
+				tx.Write(x, i)
+				tx.Write(y, i)
+				return nil
+			})
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		tx := s.Begin()
+		xv := tx.Read(x).(int)
+		yv := tx.Read(y).(int)
+		tx.Discard()
+		if xv != yv {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("torn snapshot: x=%d y=%d", xv, yv)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New()
+	b := s.NewBox(0)
+	_ = s.Atomic(func(tx *Txn) error { tx.Write(b, 1); return nil })
+	_ = s.Atomic(func(tx *Txn) error { tx.Read(b); return nil })
+	snap := s.Stats().Snapshot()
+	if snap.Commits != 1 || snap.ReadOnlyCommits != 1 || snap.Begins != 2 {
+		t.Fatalf("stats = %+v", snap)
+	}
+}
+
+func TestManyBoxesStress(t *testing.T) {
+	s := New()
+	const n = 1000
+	boxes := make([]*VBox, n)
+	for i := range boxes {
+		boxes[i] = s.NewBoxNamed(fmt.Sprintf("b%d", i), i)
+	}
+	err := s.Atomic(func(tx *Txn) error {
+		for i, b := range boxes {
+			if got := tx.Read(b); got != i {
+				return fmt.Errorf("box %d = %v", i, got)
+			}
+			tx.Write(b, i*2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin()
+	defer tx.Discard()
+	for i, b := range boxes {
+		if got := tx.Read(b); got != i*2 {
+			t.Fatalf("box %d = %v, want %d", i, got, i*2)
+		}
+	}
+}

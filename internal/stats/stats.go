@@ -1,0 +1,90 @@
+// Package stats provides the small numeric helpers the benchmark harness
+// uses to aggregate run results: means, standard deviations, rates and
+// normalized speedups.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Throughput returns operations per second.
+func Throughput(ops int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}
+
+// Rate returns part/total, or 0 when total is 0. It is the abort-rate
+// helper: aborts / (aborts + commits).
+func Rate(part, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(part) / float64(total)
+}
+
+// Speedup returns x/base, or 0 when base is 0.
+func Speedup(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return x / base
+}
+
+// FormatFloat renders a float compactly for result tables.
+func FormatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case math.Abs(x) >= 100:
+		return fmt.Sprintf("%.0f", x)
+	case math.Abs(x) >= 1:
+		return fmt.Sprintf("%.2f", x)
+	default:
+		return fmt.Sprintf("%.3f", x)
+	}
+}

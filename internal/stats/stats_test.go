@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Fatal("single-element stddev")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Fatal("median sorted its input")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(100, time.Second); got != 100 {
+		t.Fatalf("throughput = %v", got)
+	}
+	if Throughput(100, 0) != 0 {
+		t.Fatal("zero-elapsed throughput")
+	}
+}
+
+func TestRateAndSpeedup(t *testing.T) {
+	if got := Rate(1, 4); got != 0.25 {
+		t.Fatalf("rate = %v", got)
+	}
+	if Rate(1, 0) != 0 {
+		t.Fatal("zero-total rate")
+	}
+	if got := Speedup(30, 10); got != 3 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if Speedup(1, 0) != 0 {
+		t.Fatal("zero-base speedup")
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return Mean(nil) == 0
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := float64(raw[0]), float64(raw[0])
+		for i, r := range raw {
+			xs[i] = float64(r)
+			lo, hi = math.Min(lo, xs[i]), math.Max(hi, xs[i])
+		}
+		m := Mean(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		123.4:  "123",
+		12.345: "12.35",
+		0.1234: "0.123",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

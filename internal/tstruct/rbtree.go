@@ -1,0 +1,387 @@
+package tstruct
+
+import (
+	"cmp"
+	"fmt"
+	"sync/atomic"
+
+	"wtftm/internal/mvstm"
+)
+
+// Tree is a transactional ordered map: a left-leaning red-black tree
+// (Sedgewick) whose nodes live in individual versioned boxes. Conflicts are
+// node-granular: two transactions conflict only when their access paths
+// overlap on a written node, which is what makes tree indexes the structure
+// of choice in STM benchmarks (STAMP's Vacation keeps its relations in
+// red-black trees).
+//
+// A node box holds a treeNode value; children are referenced by box, and
+// updates rewrite the boxes along the access path (the boxes themselves are
+// stable, so readers of disjoint subtrees are unaffected).
+type Tree[K cmp.Ordered] struct {
+	stm  *mvstm.STM
+	root *mvstm.VBox // holds *mvstm.VBox (the root node's box) or nil
+	size *mvstm.VBox // int
+	seq  atomic.Int64
+}
+
+// treeNode is the immutable per-box payload.
+type treeNode[K cmp.Ordered] struct {
+	key         K
+	val         any
+	red         bool
+	left, right *mvstm.VBox // nil for leaves
+}
+
+// NewTree creates an empty transactional red-black tree.
+func NewTree[K cmp.Ordered](stm *mvstm.STM) *Tree[K] {
+	return &Tree[K]{
+		stm:  stm,
+		root: stm.NewBoxNamed("ttree.root", (*mvstm.VBox)(nil)),
+		size: stm.NewBoxNamed("ttree.size", 0),
+	}
+}
+
+func (t *Tree[K]) newNodeBox(tx mvstm.ReadWriter, n treeNode[K]) *mvstm.VBox {
+	b := t.stm.NewBoxNamed(fmt.Sprintf("ttree.n%d", t.seq.Add(1)), treeNode[K]{})
+	tx.Write(b, n)
+	return b
+}
+
+func (t *Tree[K]) node(tx mvstm.ReadWriter, b *mvstm.VBox) treeNode[K] {
+	return tx.Read(b).(treeNode[K])
+}
+
+// Len returns the number of keys.
+func (t *Tree[K]) Len(tx mvstm.ReadWriter) int { return tx.Read(t.size).(int) }
+
+// Get returns the value stored under key.
+func (t *Tree[K]) Get(tx mvstm.ReadWriter, key K) (any, bool) {
+	b := tx.Read(t.root).(*mvstm.VBox)
+	for b != nil {
+		n := t.node(tx, b)
+		switch {
+		case key < n.key:
+			b = n.left
+		case key > n.key:
+			b = n.right
+		default:
+			return n.val, true
+		}
+	}
+	return nil, false
+}
+
+// Put stores val under key and reports whether the key was new.
+func (t *Tree[K]) Put(tx mvstm.ReadWriter, key K, val any) bool {
+	rootBox := tx.Read(t.root).(*mvstm.VBox)
+	newRoot, added := t.insert(tx, rootBox, key, val)
+	n := t.node(tx, newRoot)
+	if n.red {
+		n.red = false
+		tx.Write(newRoot, n)
+	}
+	if newRoot != rootBox {
+		tx.Write(t.root, newRoot)
+	}
+	if added {
+		tx.Write(t.size, tx.Read(t.size).(int)+1)
+	}
+	return added
+}
+
+func isRed[K cmp.Ordered](t *Tree[K], tx mvstm.ReadWriter, b *mvstm.VBox) bool {
+	if b == nil {
+		return false
+	}
+	return t.node(tx, b).red
+}
+
+// rotateLeft/rotateRight/flipColors are the standard LLRB primitives
+// expressed over boxes: they rewrite the payloads of the involved boxes and
+// return the box that takes the rotated subtree's root position.
+func (t *Tree[K]) rotateLeft(tx mvstm.ReadWriter, h *mvstm.VBox) *mvstm.VBox {
+	hn := t.node(tx, h)
+	x := hn.right
+	xn := t.node(tx, x)
+	hn.right = xn.left
+	xn.left = h
+	xn.red = hn.red
+	hn.red = true
+	tx.Write(h, hn)
+	tx.Write(x, xn)
+	return x
+}
+
+func (t *Tree[K]) rotateRight(tx mvstm.ReadWriter, h *mvstm.VBox) *mvstm.VBox {
+	hn := t.node(tx, h)
+	x := hn.left
+	xn := t.node(tx, x)
+	hn.left = xn.right
+	xn.right = h
+	xn.red = hn.red
+	hn.red = true
+	tx.Write(h, hn)
+	tx.Write(x, xn)
+	return x
+}
+
+func (t *Tree[K]) flipColors(tx mvstm.ReadWriter, h *mvstm.VBox) {
+	hn := t.node(tx, h)
+	hn.red = !hn.red
+	tx.Write(h, hn)
+	for _, c := range []*mvstm.VBox{hn.left, hn.right} {
+		if c != nil {
+			cn := t.node(tx, c)
+			cn.red = !cn.red
+			tx.Write(c, cn)
+		}
+	}
+}
+
+func (t *Tree[K]) fixUp(tx mvstm.ReadWriter, h *mvstm.VBox) *mvstm.VBox {
+	if isRed(t, tx, t.node(tx, h).right) && !isRed(t, tx, t.node(tx, h).left) {
+		h = t.rotateLeft(tx, h)
+	}
+	if l := t.node(tx, h).left; isRed(t, tx, l) && l != nil && isRed(t, tx, t.node(tx, l).left) {
+		h = t.rotateRight(tx, h)
+	}
+	if isRed(t, tx, t.node(tx, h).left) && isRed(t, tx, t.node(tx, h).right) {
+		t.flipColors(tx, h)
+	}
+	return h
+}
+
+func (t *Tree[K]) insert(tx mvstm.ReadWriter, h *mvstm.VBox, key K, val any) (*mvstm.VBox, bool) {
+	if h == nil {
+		return t.newNodeBox(tx, treeNode[K]{key: key, val: val, red: true}), true
+	}
+	n := t.node(tx, h)
+	added := false
+	switch {
+	case key < n.key:
+		var nl *mvstm.VBox
+		nl, added = t.insert(tx, n.left, key, val)
+		if nl != n.left {
+			n.left = nl
+			tx.Write(h, n)
+		}
+	case key > n.key:
+		var nr *mvstm.VBox
+		nr, added = t.insert(tx, n.right, key, val)
+		if nr != n.right {
+			n.right = nr
+			tx.Write(h, n)
+		}
+	default:
+		n.val = val
+		tx.Write(h, n)
+	}
+	return t.fixUp(tx, h), added
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree[K]) Delete(tx mvstm.ReadWriter, key K) bool {
+	rootBox := tx.Read(t.root).(*mvstm.VBox)
+	if rootBox == nil {
+		return false
+	}
+	if _, present := t.Get(tx, key); !present {
+		return false
+	}
+	rn := t.node(tx, rootBox)
+	if !isRed(t, tx, rn.left) && !isRed(t, tx, rn.right) {
+		rn.red = true
+		tx.Write(rootBox, rn)
+	}
+	newRoot := t.delete(tx, rootBox, key)
+	if newRoot != nil {
+		n := t.node(tx, newRoot)
+		if n.red {
+			n.red = false
+			tx.Write(newRoot, n)
+		}
+	}
+	if newRoot != rootBox {
+		tx.Write(t.root, newRoot)
+	}
+	tx.Write(t.size, tx.Read(t.size).(int)-1)
+	return true
+}
+
+func (t *Tree[K]) moveRedLeft(tx mvstm.ReadWriter, h *mvstm.VBox) *mvstm.VBox {
+	t.flipColors(tx, h)
+	n := t.node(tx, h)
+	if n.right != nil && isRed(t, tx, t.node(tx, n.right).left) {
+		n.right = t.rotateRight(tx, n.right)
+		tx.Write(h, n)
+		h = t.rotateLeft(tx, h)
+		t.flipColors(tx, h)
+	}
+	return h
+}
+
+func (t *Tree[K]) moveRedRight(tx mvstm.ReadWriter, h *mvstm.VBox) *mvstm.VBox {
+	t.flipColors(tx, h)
+	n := t.node(tx, h)
+	if n.left != nil && isRed(t, tx, t.node(tx, n.left).left) {
+		h = t.rotateRight(tx, h)
+		t.flipColors(tx, h)
+	}
+	return h
+}
+
+func (t *Tree[K]) minNode(tx mvstm.ReadWriter, h *mvstm.VBox) treeNode[K] {
+	n := t.node(tx, h)
+	for n.left != nil {
+		n = t.node(tx, n.left)
+	}
+	return n
+}
+
+func (t *Tree[K]) deleteMin(tx mvstm.ReadWriter, h *mvstm.VBox) *mvstm.VBox {
+	n := t.node(tx, h)
+	if n.left == nil {
+		return nil
+	}
+	if !isRed(t, tx, n.left) && !isRed(t, tx, t.node(tx, n.left).left) {
+		h = t.moveRedLeft(tx, h)
+		n = t.node(tx, h)
+	}
+	nl := t.deleteMin(tx, n.left)
+	if nl != n.left {
+		n.left = nl
+		tx.Write(h, n)
+	}
+	return t.fixUp(tx, h)
+}
+
+func (t *Tree[K]) delete(tx mvstm.ReadWriter, h *mvstm.VBox, key K) *mvstm.VBox {
+	n := t.node(tx, h)
+	if key < n.key {
+		if !isRed(t, tx, n.left) && n.left != nil && !isRed(t, tx, t.node(tx, n.left).left) {
+			h = t.moveRedLeft(tx, h)
+			n = t.node(tx, h)
+		}
+		nl := t.delete(tx, n.left, key)
+		if nl != n.left {
+			n.left = nl
+			tx.Write(h, n)
+		}
+	} else {
+		if isRed(t, tx, n.left) {
+			h = t.rotateRight(tx, h)
+			n = t.node(tx, h)
+		}
+		if key == n.key && n.right == nil {
+			return nil
+		}
+		if !isRed(t, tx, n.right) && n.right != nil && !isRed(t, tx, t.node(tx, n.right).left) {
+			h = t.moveRedRight(tx, h)
+			n = t.node(tx, h)
+		}
+		if key == n.key {
+			min := t.minNode(tx, n.right)
+			n.key, n.val = min.key, min.val
+			n.right = t.deleteMin(tx, n.right)
+			tx.Write(h, n)
+		} else {
+			nr := t.delete(tx, n.right, key)
+			if nr != n.right {
+				n.right = nr
+				tx.Write(h, n)
+			}
+		}
+	}
+	return t.fixUp(tx, h)
+}
+
+// Min returns the smallest key (ok == false when empty).
+func (t *Tree[K]) Min(tx mvstm.ReadWriter) (key K, val any, ok bool) {
+	b := tx.Read(t.root).(*mvstm.VBox)
+	if b == nil {
+		return key, nil, false
+	}
+	n := t.minNode(tx, b)
+	return n.key, n.val, true
+}
+
+// ForEach visits the entries in ascending key order; fn returning false
+// stops the walk.
+func (t *Tree[K]) ForEach(tx mvstm.ReadWriter, fn func(key K, val any) bool) {
+	t.walk(tx, tx.Read(t.root).(*mvstm.VBox), fn)
+}
+
+func (t *Tree[K]) walk(tx mvstm.ReadWriter, b *mvstm.VBox, fn func(K, any) bool) bool {
+	if b == nil {
+		return true
+	}
+	n := t.node(tx, b)
+	if !t.walk(tx, n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return t.walk(tx, n.right, fn)
+}
+
+// CheckInvariants verifies the red-black properties on a snapshot: BST
+// order, no right-leaning red links, no consecutive reds, and uniform black
+// height. It is a test/diagnostic helper.
+func (t *Tree[K]) CheckInvariants(tx mvstm.ReadWriter) error {
+	root := tx.Read(t.root).(*mvstm.VBox)
+	if root == nil {
+		if n := t.Len(tx); n != 0 {
+			return fmt.Errorf("ttree: empty tree with size %d", n)
+		}
+		return nil
+	}
+	if t.node(tx, root).red {
+		return fmt.Errorf("ttree: red root")
+	}
+	count := 0
+	_, err := t.check(tx, root, nil, nil, &count)
+	if err != nil {
+		return err
+	}
+	if n := t.Len(tx); n != count {
+		return fmt.Errorf("ttree: size %d but %d nodes", n, count)
+	}
+	return nil
+}
+
+func (t *Tree[K]) check(tx mvstm.ReadWriter, b *mvstm.VBox, lo, hi *K, count *int) (blackHeight int, err error) {
+	if b == nil {
+		return 1, nil
+	}
+	n := t.node(tx, b)
+	*count++
+	if lo != nil && n.key <= *lo {
+		return 0, fmt.Errorf("ttree: BST order violated at %v", n.key)
+	}
+	if hi != nil && n.key >= *hi {
+		return 0, fmt.Errorf("ttree: BST order violated at %v", n.key)
+	}
+	if isRed(t, tx, n.right) {
+		return 0, fmt.Errorf("ttree: right-leaning red link at %v", n.key)
+	}
+	if n.red && isRed(t, tx, n.left) {
+		return 0, fmt.Errorf("ttree: consecutive red links at %v", n.key)
+	}
+	lh, err := t.check(tx, n.left, lo, &n.key, count)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := t.check(tx, n.right, &n.key, hi, count)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("ttree: black height mismatch at %v (%d vs %d)", n.key, lh, rh)
+	}
+	if !n.red {
+		lh++
+	}
+	return lh, nil
+}

@@ -1,0 +1,264 @@
+package tstruct
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"wtftm/internal/core"
+	"wtftm/internal/mvstm"
+	"wtftm/internal/workload"
+)
+
+func TestTreeBasic(t *testing.T) {
+	stm := mvstm.New()
+	tr := NewTree[int](stm)
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		if _, ok := tr.Get(tx, 1); ok {
+			t.Error("phantom key in empty tree")
+		}
+		if !tr.Put(tx, 5, "five") {
+			t.Error("Put new key returned false")
+		}
+		if tr.Put(tx, 5, "FIVE") {
+			t.Error("overwrite returned true")
+		}
+		if v, ok := tr.Get(tx, 5); !ok || v != "FIVE" {
+			t.Errorf("Get = (%v, %v)", v, ok)
+		}
+		if tr.Len(tx) != 1 {
+			t.Errorf("Len = %d", tr.Len(tx))
+		}
+		if !tr.Delete(tx, 5) || tr.Delete(tx, 5) {
+			t.Error("Delete semantics wrong")
+		}
+		return tr.CheckInvariants(tx)
+	})
+}
+
+func TestTreeOrderedIteration(t *testing.T) {
+	stm := mvstm.New()
+	tr := NewTree[int](stm)
+	keys := []int{42, 7, 99, 1, 64, 23, 8, 77, 3, 55}
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		for _, k := range keys {
+			tr.Put(tx, k, k*10)
+		}
+		return tr.CheckInvariants(tx)
+	})
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		var got []int
+		tr.ForEach(tx, func(k int, v any) bool {
+			got = append(got, k)
+			if v != k*10 {
+				t.Errorf("value of %d = %v", k, v)
+			}
+			return true
+		})
+		if !sort.IntsAreSorted(got) || len(got) != len(keys) {
+			t.Errorf("iteration order = %v", got)
+		}
+		if k, v, ok := tr.Min(tx); !ok || k != 1 || v != 10 {
+			t.Errorf("Min = (%v, %v, %v)", k, v, ok)
+		}
+		return nil
+	})
+}
+
+func TestTreeInvariantsUnderChurn(t *testing.T) {
+	stm := mvstm.New()
+	tr := NewTree[int](stm)
+	rng := workload.NewRNG(17)
+	present := make(map[int]bool)
+	for round := 0; round < 40; round++ {
+		runTx(t, stm, func(tx *mvstm.Txn) error {
+			for i := 0; i < 10; i++ {
+				k := rng.Intn(200)
+				if rng.Intn(3) == 0 {
+					if tr.Delete(tx, k) != present[k] {
+						t.Errorf("Delete(%d) mismatch with model", k)
+					}
+					delete(present, k)
+				} else {
+					if tr.Put(tx, k, k) == present[k] {
+						t.Errorf("Put(%d) mismatch with model", k)
+					}
+					present[k] = true
+				}
+			}
+			return tr.CheckInvariants(tx)
+		})
+	}
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		if tr.Len(tx) != len(present) {
+			t.Errorf("Len = %d, model = %d", tr.Len(tx), len(present))
+		}
+		for k := range present {
+			if _, ok := tr.Get(tx, k); !ok {
+				t.Errorf("key %d missing", k)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTreePropertyMatchesModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		stm := mvstm.New()
+		tr := NewTree[int](stm)
+		model := make(map[int]int)
+		ok := true
+		err := stm.Atomic(func(tx *mvstm.Txn) error {
+			for i, raw := range ops {
+				k := int(raw) % 64
+				if k < 0 {
+					k = -k
+				}
+				switch i % 3 {
+				case 0, 1:
+					tr.Put(tx, k, i)
+					model[k] = i
+				case 2:
+					got := tr.Delete(tx, k)
+					_, want := model[k]
+					if got != want {
+						ok = false
+					}
+					delete(model, k)
+				}
+			}
+			if tr.Len(tx) != len(model) {
+				ok = false
+			}
+			for k, v := range model {
+				if got, found := tr.Get(tx, k); !found || got != v {
+					ok = false
+				}
+			}
+			return tr.CheckInvariants(tx)
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeSnapshotIsolation(t *testing.T) {
+	stm := mvstm.New()
+	tr := NewTree[int](stm)
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		for i := 0; i < 20; i++ {
+			tr.Put(tx, i, i)
+		}
+		return nil
+	})
+	early := stm.Begin()
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		for i := 0; i < 20; i += 2 {
+			tr.Delete(tx, i)
+		}
+		return nil
+	})
+	// The early snapshot still sees every key and valid invariants.
+	for i := 0; i < 20; i++ {
+		if _, ok := tr.Get(early, i); !ok {
+			t.Fatalf("snapshot lost key %d", i)
+		}
+	}
+	if err := tr.CheckInvariants(early); err != nil {
+		t.Fatal(err)
+	}
+	early.Discard()
+}
+
+func TestTreeConcurrentDisjointRanges(t *testing.T) {
+	stm := mvstm.New()
+	tr := NewTree[int](stm)
+	// Pre-build so concurrent inserts land in different subtrees more often.
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		for i := 0; i < 1024; i += 64 {
+			tr.Put(tx, i, i)
+		}
+		return nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				k := g*1000 + 10000 + i
+				if err := stm.Atomic(func(tx *mvstm.Txn) error {
+					tr.Put(tx, k, k)
+					return nil
+				}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		if tr.Len(tx) != 16+120 {
+			t.Errorf("Len = %d", tr.Len(tx))
+		}
+		return tr.CheckInvariants(tx)
+	})
+}
+
+func TestTreeWithFutures(t *testing.T) {
+	stm := mvstm.New()
+	sys := core.New(stm, core.Options{Ordering: core.WO})
+	tr := NewTree[string](stm)
+	err := sys.Atomic(func(tx *core.Tx) error {
+		// Futures insert disjoint key ranges; the continuation reads after
+		// evaluation.
+		var futs []*core.Future
+		for g := 0; g < 4; g++ {
+			g := g
+			futs = append(futs, tx.Submit(func(ftx *core.Tx) (any, error) {
+				for i := 0; i < 8; i++ {
+					tr.Put(ftx, fmt.Sprintf("g%d-%02d", g, i), g*8+i)
+				}
+				return nil, nil
+			}))
+		}
+		for _, f := range futs {
+			if _, err := tx.Evaluate(f); err != nil {
+				return err
+			}
+		}
+		if got := tr.Len(tx); got != 32 {
+			return fmt.Errorf("Len inside txn = %d", got)
+		}
+		return tr.CheckInvariants(tx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		if tr.Len(tx) != 32 {
+			t.Errorf("committed Len = %d", tr.Len(tx))
+		}
+		return tr.CheckInvariants(tx)
+	})
+}
+
+func TestTreeStringKeys(t *testing.T) {
+	stm := mvstm.New()
+	tr := NewTree[string](stm)
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		for _, k := range []string{"pear", "apple", "plum", "fig"} {
+			tr.Put(tx, k, len(k))
+		}
+		var got []string
+		tr.ForEach(tx, func(k string, _ any) bool { got = append(got, k); return true })
+		if fmt.Sprint(got) != "[apple fig pear plum]" {
+			t.Errorf("order = %v", got)
+		}
+		return tr.CheckInvariants(tx)
+	})
+}

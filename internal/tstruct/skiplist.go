@@ -1,0 +1,222 @@
+package tstruct
+
+import (
+	"cmp"
+	"fmt"
+	"sync/atomic"
+
+	"wtftm/internal/mvstm"
+)
+
+const skipMaxLevel = 16
+
+// SkipList is a transactional ordered map implemented as a skip list with
+// per-node boxes: an alternative to Tree with the same node-granular
+// conflict behaviour but no rebalancing, so writers touch only the nodes
+// adjacent to their key — the access pattern favoured by many STM papers
+// for highly concurrent ordered indexes.
+type SkipList[K cmp.Ordered] struct {
+	stm  *mvstm.STM
+	head *mvstm.VBox // holds skipNode[K] with no key (sentinel)
+	size *mvstm.VBox
+	seq  atomic.Int64
+	rng  atomic.Uint64
+}
+
+// skipNode is the immutable per-box payload. next[i] is the node box
+// following this one on level i (nil = end of level).
+type skipNode[K cmp.Ordered] struct {
+	key   K
+	val   any
+	level int
+	next  [skipMaxLevel]*mvstm.VBox
+}
+
+// NewSkipList creates an empty transactional skip list.
+func NewSkipList[K cmp.Ordered](stm *mvstm.STM, seed uint64) *SkipList[K] {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	s := &SkipList[K]{
+		stm:  stm,
+		head: stm.NewBoxNamed("tskip.head", skipNode[K]{level: skipMaxLevel}),
+		size: stm.NewBoxNamed("tskip.size", 0),
+	}
+	s.rng.Store(seed)
+	return s
+}
+
+func (s *SkipList[K]) node(tx mvstm.ReadWriter, b *mvstm.VBox) skipNode[K] {
+	return tx.Read(b).(skipNode[K])
+}
+
+// randLevel draws a geometric level (thread-safe xorshift).
+func (s *SkipList[K]) randLevel() int {
+	for {
+		old := s.rng.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if s.rng.CompareAndSwap(old, x) {
+			lvl := 1
+			for x&1 == 1 && lvl < skipMaxLevel {
+				lvl++
+				x >>= 1
+			}
+			return lvl
+		}
+	}
+}
+
+// Len returns the number of keys.
+func (s *SkipList[K]) Len(tx mvstm.ReadWriter) int { return tx.Read(s.size).(int) }
+
+// findPreds fills preds with, per level, the box of the last node whose key
+// is < key (the head sentinel when none).
+func (s *SkipList[K]) findPreds(tx mvstm.ReadWriter, key K, preds *[skipMaxLevel]*mvstm.VBox) {
+	cur := s.head
+	curN := s.node(tx, cur)
+	for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
+		for curN.next[lvl] != nil {
+			n := s.node(tx, curN.next[lvl])
+			if n.key < key {
+				cur = curN.next[lvl]
+				curN = n
+			} else {
+				break
+			}
+		}
+		preds[lvl] = cur
+	}
+}
+
+// Get returns the value stored under key.
+func (s *SkipList[K]) Get(tx mvstm.ReadWriter, key K) (any, bool) {
+	var preds [skipMaxLevel]*mvstm.VBox
+	s.findPreds(tx, key, &preds)
+	nb := s.node(tx, preds[0]).next[0]
+	if nb == nil {
+		return nil, false
+	}
+	n := s.node(tx, nb)
+	if n.key == key {
+		return n.val, true
+	}
+	return nil, false
+}
+
+// Put stores val under key and reports whether the key was new.
+func (s *SkipList[K]) Put(tx mvstm.ReadWriter, key K, val any) bool {
+	var preds [skipMaxLevel]*mvstm.VBox
+	s.findPreds(tx, key, &preds)
+	if nb := s.node(tx, preds[0]).next[0]; nb != nil {
+		if n := s.node(tx, nb); n.key == key {
+			n.val = val
+			tx.Write(nb, n)
+			return false
+		}
+	}
+	lvl := s.randLevel()
+	fresh := skipNode[K]{key: key, val: val, level: lvl}
+	for i := 0; i < lvl; i++ {
+		fresh.next[i] = s.node(tx, preds[i]).next[i]
+	}
+	nb := s.stm.NewBoxNamed(fmt.Sprintf("tskip.n%d", s.seq.Add(1)), skipNode[K]{})
+	tx.Write(nb, fresh)
+	for i := 0; i < lvl; i++ {
+		pn := s.node(tx, preds[i])
+		pn.next[i] = nb
+		tx.Write(preds[i], pn)
+	}
+	tx.Write(s.size, tx.Read(s.size).(int)+1)
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *SkipList[K]) Delete(tx mvstm.ReadWriter, key K) bool {
+	var preds [skipMaxLevel]*mvstm.VBox
+	s.findPreds(tx, key, &preds)
+	nb := s.node(tx, preds[0]).next[0]
+	if nb == nil {
+		return false
+	}
+	n := s.node(tx, nb)
+	if n.key != key {
+		return false
+	}
+	for i := 0; i < n.level; i++ {
+		pn := s.node(tx, preds[i])
+		if pn.next[i] == nb {
+			pn.next[i] = n.next[i]
+			tx.Write(preds[i], pn)
+		}
+	}
+	tx.Write(s.size, tx.Read(s.size).(int)-1)
+	return true
+}
+
+// Min returns the smallest key (ok == false when empty).
+func (s *SkipList[K]) Min(tx mvstm.ReadWriter) (key K, val any, ok bool) {
+	nb := s.node(tx, s.head).next[0]
+	if nb == nil {
+		return key, nil, false
+	}
+	n := s.node(tx, nb)
+	return n.key, n.val, true
+}
+
+// ForEach visits the entries in ascending key order; fn returning false
+// stops the walk.
+func (s *SkipList[K]) ForEach(tx mvstm.ReadWriter, fn func(key K, val any) bool) {
+	for nb := s.node(tx, s.head).next[0]; nb != nil; {
+		n := s.node(tx, nb)
+		if !fn(n.key, n.val) {
+			return
+		}
+		nb = n.next[0]
+	}
+}
+
+// CheckInvariants verifies, on a snapshot, that every level is sorted, that
+// the level-0 count matches the size counter, and that each level's chain is
+// a subsequence of the level below.
+func (s *SkipList[K]) CheckInvariants(tx mvstm.ReadWriter) error {
+	// Collect level-0 membership.
+	level0 := make(map[*mvstm.VBox]int)
+	count := 0
+	var prev *K
+	for nb := s.node(tx, s.head).next[0]; nb != nil; {
+		n := s.node(tx, nb)
+		if prev != nil && n.key <= *prev {
+			return fmt.Errorf("tskip: level 0 not strictly sorted at %v", n.key)
+		}
+		k := n.key
+		prev = &k
+		level0[nb] = count
+		count++
+		nb = n.next[0]
+	}
+	if got := s.Len(tx); got != count {
+		return fmt.Errorf("tskip: size %d but %d level-0 nodes", got, count)
+	}
+	for lvl := 1; lvl < skipMaxLevel; lvl++ {
+		last := -1
+		for nb := s.node(tx, s.head).next[lvl]; nb != nil; {
+			pos, ok := level0[nb]
+			if !ok {
+				return fmt.Errorf("tskip: level %d node missing from level 0", lvl)
+			}
+			if pos <= last {
+				return fmt.Errorf("tskip: level %d not a sorted subsequence", lvl)
+			}
+			last = pos
+			n := s.node(tx, nb)
+			if n.level <= lvl {
+				return fmt.Errorf("tskip: node %v on level %d but has level %d", n.key, lvl, n.level)
+			}
+			nb = n.next[lvl]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package tstruct
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"wtftm/internal/core"
+	"wtftm/internal/mvstm"
+	"wtftm/internal/workload"
+)
+
+func TestSkipListBasic(t *testing.T) {
+	stm := mvstm.New()
+	sl := NewSkipList[int](stm, 42)
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		if _, ok := sl.Get(tx, 1); ok {
+			t.Error("phantom key")
+		}
+		if !sl.Put(tx, 3, "c") || !sl.Put(tx, 1, "a") || !sl.Put(tx, 2, "b") {
+			t.Error("Put of new keys returned false")
+		}
+		if sl.Put(tx, 2, "B") {
+			t.Error("overwrite returned true")
+		}
+		if v, ok := sl.Get(tx, 2); !ok || v != "B" {
+			t.Errorf("Get = (%v, %v)", v, ok)
+		}
+		if sl.Len(tx) != 3 {
+			t.Errorf("Len = %d", sl.Len(tx))
+		}
+		if !sl.Delete(tx, 2) || sl.Delete(tx, 2) {
+			t.Error("Delete semantics wrong")
+		}
+		if k, _, ok := sl.Min(tx); !ok || k != 1 {
+			t.Errorf("Min = (%v, %v)", k, ok)
+		}
+		return sl.CheckInvariants(tx)
+	})
+}
+
+func TestSkipListOrderedIteration(t *testing.T) {
+	stm := mvstm.New()
+	sl := NewSkipList[int](stm, 7)
+	keys := []int{42, 7, 99, 1, 64, 23, 8, 77, 3, 55}
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		for _, k := range keys {
+			sl.Put(tx, k, k*2)
+		}
+		return sl.CheckInvariants(tx)
+	})
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		var got []int
+		sl.ForEach(tx, func(k int, v any) bool {
+			got = append(got, k)
+			if v != k*2 {
+				t.Errorf("value of %d = %v", k, v)
+			}
+			return true
+		})
+		if !sort.IntsAreSorted(got) || len(got) != len(keys) {
+			t.Errorf("iteration = %v", got)
+		}
+		stop := 0
+		sl.ForEach(tx, func(int, any) bool { stop++; return stop < 3 })
+		if stop != 3 {
+			t.Errorf("early stop visited %d", stop)
+		}
+		return nil
+	})
+}
+
+func TestSkipListPropertyMatchesModel(t *testing.T) {
+	f := func(ops []int16, seed uint64) bool {
+		stm := mvstm.New()
+		sl := NewSkipList[int](stm, seed)
+		model := make(map[int]int)
+		ok := true
+		err := stm.Atomic(func(tx *mvstm.Txn) error {
+			for i, raw := range ops {
+				k := int(raw) % 48
+				if k < 0 {
+					k = -k
+				}
+				switch i % 3 {
+				case 0, 1:
+					sl.Put(tx, k, i)
+					model[k] = i
+				case 2:
+					got := sl.Delete(tx, k)
+					_, want := model[k]
+					if got != want {
+						ok = false
+					}
+					delete(model, k)
+				}
+			}
+			if sl.Len(tx) != len(model) {
+				ok = false
+			}
+			for k, v := range model {
+				if got, found := sl.Get(tx, k); !found || got != v {
+					ok = false
+				}
+			}
+			return sl.CheckInvariants(tx)
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListSnapshotIsolation(t *testing.T) {
+	stm := mvstm.New()
+	sl := NewSkipList[int](stm, 3)
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		for i := 0; i < 16; i++ {
+			sl.Put(tx, i, i)
+		}
+		return nil
+	})
+	early := stm.Begin()
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		for i := 0; i < 16; i += 2 {
+			sl.Delete(tx, i)
+		}
+		return nil
+	})
+	for i := 0; i < 16; i++ {
+		if _, ok := sl.Get(early, i); !ok {
+			t.Fatalf("snapshot lost key %d", i)
+		}
+	}
+	if err := sl.CheckInvariants(early); err != nil {
+		t.Fatal(err)
+	}
+	early.Discard()
+}
+
+func TestSkipListConcurrentInserts(t *testing.T) {
+	stm := mvstm.New()
+	sl := NewSkipList[int](stm, 99)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(g) + 1)
+			for i := 0; i < 25; i++ {
+				k := g*1000 + rng.Intn(500)
+				if err := stm.Atomic(func(tx *mvstm.Txn) error {
+					sl.Put(tx, k, k)
+					return nil
+				}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		return sl.CheckInvariants(tx)
+	})
+}
+
+func TestSkipListWithFutures(t *testing.T) {
+	stm := mvstm.New()
+	sys := core.New(stm, core.Options{Ordering: core.WO})
+	sl := NewSkipList[string](stm, 5)
+	err := sys.Atomic(func(tx *core.Tx) error {
+		var futs []*core.Future
+		for g := 0; g < 3; g++ {
+			g := g
+			futs = append(futs, tx.Submit(func(ftx *core.Tx) (any, error) {
+				for i := 0; i < 6; i++ {
+					sl.Put(ftx, fmt.Sprintf("g%d-%02d", g, i), i)
+				}
+				return nil, nil
+			}))
+		}
+		for _, f := range futs {
+			if _, err := tx.Evaluate(f); err != nil {
+				return err
+			}
+		}
+		if sl.Len(tx) != 18 {
+			return fmt.Errorf("Len = %d", sl.Len(tx))
+		}
+		return sl.CheckInvariants(tx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

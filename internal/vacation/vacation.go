@@ -1,0 +1,181 @@
+// Package vacation reimplements the Vacation benchmark of the STAMP suite
+// (Cao Minh et al., IISWC'08) over the transactional substrate, in the
+// futures-parallelized form the paper evaluates in §5.3: a travel agency
+// whose MakeReservation transaction performs a number of search operations
+// over tables of flights, cars and rooms, divided among a fixed number of
+// transactional futures; a fraction of the searches hits a "remote
+// database", emulated by a delay injected right after a future begins.
+package vacation
+
+import (
+	"fmt"
+
+	"wtftm/internal/mvstm"
+	"wtftm/internal/workload"
+)
+
+// ItemKind enumerates the three reservation tables.
+type ItemKind int
+
+const (
+	// Flight reservations.
+	Flight ItemKind = iota
+	// Car reservations.
+	Car
+	// Room reservations.
+	Room
+	numKinds
+)
+
+func (k ItemKind) String() string {
+	switch k {
+	case Flight:
+		return "flight"
+	case Car:
+		return "car"
+	case Room:
+		return "room"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Item is one relation row: remaining capacity, used seats and price. Items
+// are stored by value in a versioned box.
+type Item struct {
+	Free  int
+	Used  int
+	Price int
+}
+
+// Manager owns the travel database: one table per item kind plus per
+// customer bills.
+type Manager struct {
+	tables    [numKinds][]*mvstm.VBox
+	customers []*mvstm.VBox
+	totalCap  int
+}
+
+// NewManager builds a database with numRelations rows per table and
+// numCustomers customer records. Prices and capacities are seeded
+// deterministically, mirroring STAMP's initialization.
+func NewManager(stm *mvstm.STM, numRelations, numCustomers int, seed uint64) *Manager {
+	rng := workload.NewRNG(seed)
+	m := &Manager{customers: make([]*mvstm.VBox, numCustomers)}
+	for k := 0; k < int(numKinds); k++ {
+		m.tables[k] = make([]*mvstm.VBox, numRelations)
+		for i := range m.tables[k] {
+			cap := 100 + rng.Intn(300)
+			m.tables[k][i] = stm.NewBoxNamed(
+				fmt.Sprintf("%s%d", ItemKind(k), i),
+				Item{Free: cap, Price: 50 + 10*rng.Intn(50)},
+			)
+			m.totalCap += cap
+		}
+	}
+	for i := range m.customers {
+		m.customers[i] = stm.NewBoxNamed(fmt.Sprintf("cust%d", i), 0)
+	}
+	return m
+}
+
+// NumRelations returns the rows per table.
+func (m *Manager) NumRelations() int { return len(m.tables[0]) }
+
+// NumCustomers returns the number of customer records.
+func (m *Manager) NumCustomers() int { return len(m.customers) }
+
+// Query reads an item and returns its price and whether capacity remains.
+func (m *Manager) Query(tx mvstm.ReadWriter, kind ItemKind, id int) (price int, available bool) {
+	it := tx.Read(m.tables[kind][id]).(Item)
+	return it.Price, it.Free > 0
+}
+
+// Candidate identifies the best-priced available item a search found.
+type Candidate struct {
+	Kind  ItemKind
+	ID    int
+	Price int
+	Found bool
+}
+
+// BestSet is the per-kind best candidates a search produced.
+type BestSet = [numKinds]Candidate
+
+// SearchBest performs n random queries across the tables and tracks, per
+// kind, the highest-priced available item — the STAMP MakeReservation
+// query loop.
+func (m *Manager) SearchBest(tx mvstm.ReadWriter, rng *workload.RNG, n int, queryRange int, work func()) [numKinds]Candidate {
+	var best [numKinds]Candidate
+	if queryRange <= 0 || queryRange > m.NumRelations() {
+		queryRange = m.NumRelations()
+	}
+	for i := 0; i < n; i++ {
+		if work != nil {
+			work()
+		}
+		kind := ItemKind(rng.Intn(int(numKinds)))
+		id := rng.Intn(queryRange)
+		price, ok := m.Query(tx, kind, id)
+		if ok && (!best[kind].Found || price > best[kind].Price) {
+			best[kind] = Candidate{Kind: kind, ID: id, Price: price, Found: true}
+		}
+	}
+	return best
+}
+
+// MergeBest folds b into a, keeping the highest-priced candidate per kind.
+func MergeBest(a, b [numKinds]Candidate) [numKinds]Candidate {
+	for k := range a {
+		if b[k].Found && (!a[k].Found || b[k].Price > a[k].Price) {
+			a[k] = b[k]
+		}
+	}
+	return a
+}
+
+// Reserve books one unit of the item for the customer, updating the table
+// row and the customer's bill. It returns false when capacity ran out
+// between the search and the reservation.
+func (m *Manager) Reserve(tx mvstm.ReadWriter, c Candidate, customer int) bool {
+	if !c.Found {
+		return false
+	}
+	box := m.tables[c.Kind][c.ID]
+	it := tx.Read(box).(Item)
+	if it.Free <= 0 {
+		return false
+	}
+	tx.Write(box, Item{Free: it.Free - 1, Used: it.Used + 1, Price: it.Price})
+	cust := m.customers[customer]
+	tx.Write(cust, tx.Read(cust).(int)+it.Price)
+	return true
+}
+
+// CheckInvariants verifies, on a fresh snapshot, that no row lost capacity
+// (free+used is constant) and that the customers' bills equal the value of
+// all reserved seats.
+func (m *Manager) CheckInvariants(stm *mvstm.STM) error {
+	txn := stm.Begin()
+	defer txn.Discard()
+	capSum, billed, usedValue := 0, 0, 0
+	for k := 0; k < int(numKinds); k++ {
+		for i, box := range m.tables[k] {
+			it := txn.Read(box).(Item)
+			if it.Free < 0 || it.Used < 0 {
+				return fmt.Errorf("vacation: %s %d has negative counts: %+v", ItemKind(k), i, it)
+			}
+			capSum += it.Free + it.Used
+			usedValue += it.Used * it.Price
+		}
+	}
+	if capSum != m.totalCap {
+		return fmt.Errorf("vacation: capacity leaked: %d != %d", capSum, m.totalCap)
+	}
+	for _, c := range m.customers {
+		billed += txn.Read(c).(int)
+	}
+	if billed != usedValue {
+		return fmt.Errorf("vacation: bills %d != reserved value %d", billed, usedValue)
+	}
+	return nil
+}

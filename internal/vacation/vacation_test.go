@@ -1,0 +1,151 @@
+package vacation
+
+import (
+	"sync"
+	"testing"
+
+	"wtftm/internal/core"
+	"wtftm/internal/mvstm"
+	"wtftm/internal/workload"
+)
+
+func TestManagerInit(t *testing.T) {
+	stm := mvstm.New()
+	m := NewManager(stm, 50, 10, 1)
+	if m.NumRelations() != 50 || m.NumCustomers() != 10 {
+		t.Fatalf("dims = %d, %d", m.NumRelations(), m.NumCustomers())
+	}
+	if err := m.CheckInvariants(stm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryAndReserve(t *testing.T) {
+	stm := mvstm.New()
+	m := NewManager(stm, 10, 2, 1)
+	txn := stm.Begin()
+	price, ok := m.Query(txn, Flight, 3)
+	if !ok || price <= 0 {
+		t.Fatalf("query = (%d, %v)", price, ok)
+	}
+	if !m.Reserve(txn, Candidate{Kind: Flight, ID: 3, Price: price, Found: true}, 1) {
+		t.Fatal("reserve failed with free capacity")
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(stm); err != nil {
+		t.Fatal(err)
+	}
+	check := stm.Begin()
+	defer check.Discard()
+	if bill := check.Read(m.customers[1]).(int); bill != price {
+		t.Fatalf("bill = %d, want %d", bill, price)
+	}
+}
+
+func TestReserveExhaustedCapacity(t *testing.T) {
+	stm := mvstm.New()
+	m := NewManager(stm, 5, 1, 1)
+	// Drain one item completely.
+	box := m.tables[Car][0]
+	txn := stm.Begin()
+	it := txn.Read(box).(Item)
+	txn.Write(box, Item{Free: 0, Used: it.Free + it.Used, Price: it.Price})
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	txn2 := stm.Begin()
+	defer txn2.Discard()
+	if m.Reserve(txn2, Candidate{Kind: Car, ID: 0, Price: it.Price, Found: true}, 0) {
+		t.Fatal("reserved an exhausted item")
+	}
+}
+
+func TestSearchBestFindsMax(t *testing.T) {
+	stm := mvstm.New()
+	m := NewManager(stm, 20, 1, 7)
+	txn := stm.Begin()
+	defer txn.Discard()
+	rng := workload.NewRNG(3)
+	best := m.SearchBest(txn, rng, 200, 0, nil)
+	found := 0
+	for k := range best {
+		if best[k].Found {
+			found++
+			price, ok := m.Query(txn, best[k].Kind, best[k].ID)
+			if !ok || price != best[k].Price {
+				t.Fatalf("candidate mismatch: %+v vs (%d,%v)", best[k], price, ok)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("200 queries found nothing")
+	}
+}
+
+func TestMergeBest(t *testing.T) {
+	var a, b BestSet
+	a[Flight] = Candidate{Kind: Flight, ID: 1, Price: 100, Found: true}
+	b[Flight] = Candidate{Kind: Flight, ID: 2, Price: 200, Found: true}
+	b[Car] = Candidate{Kind: Car, ID: 3, Price: 50, Found: true}
+	merged := MergeBest(a, b)
+	if merged[Flight].ID != 2 || merged[Car].ID != 3 {
+		t.Fatalf("merged = %+v", merged)
+	}
+}
+
+// TestConcurrentMakeReservations drives the futures-parallelized
+// MakeReservation against a tiny, highly contended database and checks the
+// capacity/billing invariants afterwards.
+func TestConcurrentMakeReservations(t *testing.T) {
+	for _, ord := range []core.Ordering{core.WO, core.SO} {
+		t.Run(ord.String(), func(t *testing.T) {
+			stm := mvstm.New()
+			sys := core.New(stm, core.Options{Ordering: ord, Atomicity: core.LAC})
+			m := NewManager(stm, 8, 6, 5)
+			var wg sync.WaitGroup
+			for client := 0; client < 6; client++ {
+				wg.Add(1)
+				go func(client int) {
+					defer wg.Done()
+					rng := workload.NewRNG(uint64(client + 1))
+					for r := 0; r < 4; r++ {
+						seed := rng.Uint64()
+						err := sys.Atomic(func(tx *core.Tx) error {
+							const nFut = 3
+							futs := make([]*core.Future, nFut)
+							for i := 0; i < nFut; i++ {
+								i := i
+								futs[i] = tx.Submit(func(ftx *core.Tx) (any, error) {
+									frng := workload.NewRNG(seed + uint64(i))
+									return m.SearchBest(ftx, frng, 10, 0, nil), nil
+								})
+							}
+							var best BestSet
+							for _, f := range futs {
+								v, err := tx.Evaluate(f)
+								if err != nil {
+									return err
+								}
+								best = MergeBest(best, v.(BestSet))
+							}
+							for k := range best {
+								m.Reserve(tx, best[k], client)
+							}
+							return nil
+						})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(client)
+			}
+			wg.Wait()
+			if err := m.CheckInvariants(stm); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+// Package workload provides the synthetic building blocks of the paper's
+// evaluation (§5): transactional arrays, hot-spot sets, and deterministic
+// per-goroutine random number generators.
+package workload
+
+import (
+	"fmt"
+
+	"wtftm/internal/mvstm"
+)
+
+// Array is a transactional array of boxes, the "array of 1M elements" of
+// §5.1.
+type Array struct {
+	boxes []*mvstm.VBox
+}
+
+// NewArray creates an array of n boxes initialized to their index.
+func NewArray(stm *mvstm.STM, n int) *Array {
+	a := &Array{boxes: make([]*mvstm.VBox, n)}
+	for i := range a.boxes {
+		a.boxes[i] = stm.NewBoxNamed(fmt.Sprintf("a%d", i), i)
+	}
+	return a
+}
+
+// Len returns the number of elements.
+func (a *Array) Len() int { return len(a.boxes) }
+
+// Box returns the i-th element's box.
+func (a *Array) Box(i int) *mvstm.VBox { return a.boxes[i] }
+
+// HotSpots is a set of contended boxes (the "hot spot items" of §5.2).
+type HotSpots struct {
+	boxes []*mvstm.VBox
+}
+
+// NewHotSpots creates n hot-spot boxes initialized to zero.
+func NewHotSpots(stm *mvstm.STM, n int) *HotSpots {
+	h := &HotSpots{boxes: make([]*mvstm.VBox, n)}
+	for i := range h.boxes {
+		h.boxes[i] = stm.NewBoxNamed(fmt.Sprintf("h%d", i), 0)
+	}
+	return h
+}
+
+// Len returns the number of hot spots.
+func (h *HotSpots) Len() int { return len(h.boxes) }
+
+// Box returns the i-th hot spot.
+func (h *HotSpots) Box(i int) *mvstm.VBox { return h.boxes[i] }
+
+// RNG is a tiny xorshift64* generator: deterministic, allocation-free, and
+// safe to embed one per goroutine.
+type RNG struct {
+	x uint64
+}
+
+// NewRNG seeds a generator (seed 0 is remapped).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{x: seed}
+}
+
+// Uint64 returns the next raw value.
+func (r *RNG) Uint64() uint64 {
+	x := r.x
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.x = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}

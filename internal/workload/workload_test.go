@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wtftm/internal/mvstm"
+)
+
+func TestArrayInit(t *testing.T) {
+	stm := mvstm.New()
+	a := NewArray(stm, 100)
+	if a.Len() != 100 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	tx := stm.Begin()
+	defer tx.Discard()
+	for i := 0; i < a.Len(); i += 17 {
+		if got := tx.Read(a.Box(i)); got != i {
+			t.Fatalf("a[%d] = %v", i, got)
+		}
+	}
+}
+
+func TestHotSpotsInit(t *testing.T) {
+	stm := mvstm.New()
+	h := NewHotSpots(stm, 20)
+	if h.Len() != 20 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	tx := stm.Begin()
+	defer tx.Discard()
+	if got := tx.Read(h.Box(19)); got != 0 {
+		t.Fatalf("hot spot initial = %v", got)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+	}
+}
+
+func TestRNGRoughUniformity(t *testing.T) {
+	r := NewRNG(11)
+	const buckets = 10
+	const samples = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < samples; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	for i, c := range counts {
+		if c < samples/buckets*8/10 || c > samples/buckets*12/10 {
+			t.Fatalf("bucket %d count %d far from uniform", i, c)
+		}
+	}
+}

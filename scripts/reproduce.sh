@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Reproduce the full evaluation (paper-vs-measured record in EXPERIMENTS.md).
+# Mirrors the paper's artifact appendix workflow: build, test, verify a
+# recorded history against the formal model, then regenerate every figure.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== build & vet =="
+go build ./...
+go vet ./...
+
+echo "== tests (unit + integration + property) =="
+go test ./...
+
+echo "== formal-model self-check (Fig. 1a program) =="
+go run ./cmd/fsgcheck -demo -witness 2>/dev/null
+
+echo "== figures (quick grids; add -quick=false -duration 10s for paper scale) =="
+go run ./cmd/wtfbench -exp all "$@"
+
+echo "== examples =="
+for ex in quickstart cart bank vacation events; do
+  echo "-- $ex"
+  go run "./examples/$ex"
+done

@@ -1,0 +1,60 @@
+// Package tstruct exposes the transactional data structures of
+// wtftm/internal/tstruct as public API: a hash map, a FIFO queue, a sharded
+// counter and a set, all built on versioned boxes and usable from plain
+// transactions and transactional futures alike.
+//
+//	stm := wtftm.NewSTM()
+//	sys := wtftm.NewSystem(stm, wtftm.Options{})
+//	m := tstruct.NewMap(stm, 64)
+//	_ = sys.Atomic(func(tx *wtftm.Tx) error {
+//		m.Put(tx, "answer", 42)
+//		return nil
+//	})
+package tstruct
+
+import (
+	"cmp"
+
+	"wtftm/internal/mvstm"
+	internal "wtftm/internal/tstruct"
+)
+
+// Re-exported structure types; see the methods on each.
+type (
+	// Map is a transactional hash map (conflicts are per bucket).
+	Map = internal.Map
+	// Queue is a transactional FIFO queue (two-list representation).
+	Queue = internal.Queue
+	// Counter is a sharded transactional counter.
+	Counter = internal.Counter
+	// Set is a transactional string set.
+	Set = internal.Set
+	// Tree is a transactional ordered map (left-leaning red-black tree
+	// with node-granular conflicts).
+	Tree[K cmp.Ordered] = internal.Tree[K]
+	// SkipList is a transactional ordered map with skip-list structure
+	// (no rebalancing: writers touch only nodes adjacent to their key).
+	SkipList[K cmp.Ordered] = internal.SkipList[K]
+)
+
+// Constructors.
+var (
+	// NewMap creates a map with the given bucket count.
+	NewMap = internal.NewMap
+	// NewQueue creates an empty queue.
+	NewQueue = internal.NewQueue
+	// NewCounter creates a counter with the given shard count.
+	NewCounter = internal.NewCounter
+	// NewSet creates a set with the given bucket count.
+	NewSet = internal.NewSet
+)
+
+// NewTree creates an empty transactional red-black tree (generic functions
+// cannot be aliased through a var, hence the wrapper).
+func NewTree[K cmp.Ordered](stm *mvstm.STM) *Tree[K] { return internal.NewTree[K](stm) }
+
+// NewSkipList creates an empty transactional skip list (seed 0 selects a
+// default).
+func NewSkipList[K cmp.Ordered](stm *mvstm.STM, seed uint64) *SkipList[K] {
+	return internal.NewSkipList[K](stm, seed)
+}

@@ -1,0 +1,114 @@
+package wtftm_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"wtftm"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	stm := wtftm.NewSTM()
+	sys := wtftm.NewSystem(stm, wtftm.Options{Ordering: wtftm.WO})
+	balance := wtftm.NewBoxNamed(stm, "balance", 100)
+
+	err := sys.Atomic(func(tx *wtftm.Tx) error {
+		f := tx.Submit(func(ftx *wtftm.Tx) (any, error) {
+			balance.Write(ftx, balance.Read(ftx)+10)
+			return nil, nil
+		})
+		_, err := tx.Evaluate(f)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := stm.Begin()
+	defer txn.Discard()
+	if got := balance.Read(txn); got != 110 {
+		t.Fatalf("balance = %d, want 110", got)
+	}
+}
+
+func TestFacadeTypedBoxesAcrossEngines(t *testing.T) {
+	for _, ord := range []wtftm.Ordering{wtftm.WO, wtftm.SO} {
+		for _, at := range []wtftm.Atomicity{wtftm.LAC, wtftm.GAC} {
+			stm := wtftm.NewSTM()
+			sys := wtftm.NewSystem(stm, wtftm.Options{Ordering: ord, Atomicity: at})
+			names := wtftm.NewBox(stm, []string(nil))
+			err := sys.Atomic(func(tx *wtftm.Tx) error {
+				names.Write(tx, append(names.Read(tx), "a", "b"))
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", ord, at, err)
+			}
+			txn := stm.Begin()
+			got := names.Read(txn)
+			txn.Discard()
+			if len(got) != 2 || got[1] != "b" {
+				t.Fatalf("%v/%v: names = %v", ord, at, got)
+			}
+		}
+	}
+}
+
+func TestFacadeResultAndErrors(t *testing.T) {
+	stm := wtftm.NewSTM()
+	sys := wtftm.NewSystem(stm, wtftm.Options{})
+	v, err := sys.AtomicResult(func(tx *wtftm.Tx) (any, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("AtomicResult = (%v, %v)", v, err)
+	}
+	sentinel := errors.New("nope")
+	if err := sys.Atomic(func(tx *wtftm.Tx) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("user error = %v", err)
+	}
+}
+
+func TestFacadeRecorder(t *testing.T) {
+	rec := wtftm.NewRecorder()
+	stm := wtftm.NewSTM()
+	sys := wtftm.NewSystem(stm, wtftm.Options{Recorder: rec})
+	x := wtftm.NewBoxNamed(stm, "x", 0)
+	if err := sys.Atomic(func(tx *wtftm.Tx) error { x.Write(tx, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() < 3 { // topBegin, write, topCommit
+		t.Fatalf("recorded only %d ops", rec.Len())
+	}
+}
+
+func TestFacadeConcurrentCounter(t *testing.T) {
+	stm := wtftm.NewSTM()
+	sys := wtftm.NewSystem(stm, wtftm.Options{Ordering: wtftm.WO})
+	counter := wtftm.NewBox(stm, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				err := sys.Atomic(func(tx *wtftm.Tx) error {
+					f := tx.Submit(func(ftx *wtftm.Tx) (any, error) {
+						counter.Write(ftx, counter.Read(ftx)+1)
+						return nil, nil
+					})
+					_, err := tx.Evaluate(f)
+					return err
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	txn := stm.Begin()
+	defer txn.Discard()
+	if got := counter.Read(txn); got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+}
