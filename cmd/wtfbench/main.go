@@ -6,7 +6,7 @@
 //
 //	wtfbench [flags]
 //
-//	-exp string    experiment: all|fig3|fig6left|fig6right|fig7|fig8|fig9|intruder|kmeans|segments|ablation (default "all")
+//	-exp string    experiment: all|fig3|fig6left|fig6right|fig7|fig8|fig9|intruder|kmeans|segments|ablation|mvcommit (default "all")
 //	-quick         run the scaled-down grids (default true; -quick=false uses paper-scale parameters)
 //	-duration d    measurement window per data point (default 1s; quick: 250ms)
 //	-array n       size of the read array (paper: 1000000)
@@ -14,6 +14,12 @@
 //	-mode string   work emulation: latency|busy (default latency; busy needs real cores)
 //	-v             per-point progress output
 //	-json          emit results as JSON objects instead of tables
+//
+// Profiling (for diagnosing hot-path regressions without code edits):
+//
+//	-cpuprofile f    write a CPU profile of the whole run to f
+//	-memprofile f    write an allocation profile at exit to f
+//	-mutexprofile f  write a mutex-contention profile at exit to f
 //
 // Absolute throughput depends on the host; the tables reproduce the paper's
 // comparative shapes (see EXPERIMENTS.md for the expected shapes and the
@@ -26,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"wtftm/internal/bench"
@@ -34,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|fig3|fig6left|fig6right|fig7|fig8|fig9|intruder|kmeans|segments|ablation")
+		exp      = flag.String("exp", "all", "experiment: all|fig3|fig6left|fig6right|fig7|fig8|fig9|intruder|kmeans|segments|ablation|mvcommit")
 		quick    = flag.Bool("quick", true, "scaled-down grids (set -quick=false for paper-scale parameters)")
 		duration = flag.Duration("duration", 0, "measurement window per data point (0 = preset default)")
 		array    = flag.Int("array", 0, "read array size (0 = preset default; paper: 1000000)")
@@ -42,8 +50,35 @@ func main() {
 		mode     = flag.String("mode", "latency", "work emulation: latency|busy")
 		verbose  = flag.Bool("v", false, "per-point progress output")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON objects instead of tables")
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile at exit to this file")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wtfbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wtfbench: start cpu profile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer writeProfile("mutex", *mutexProfile)
+	}
+	if *memProfile != "" {
+		defer writeProfile("allocs", *memProfile)
+	}
 
 	cfg := bench.Default()
 	if *quick {
@@ -133,4 +168,22 @@ func main() {
 	run("ablation", func() (printer, error) {
 		return bench.RunAblation(cfg)
 	})
+	run("mvcommit", func() (printer, error) {
+		return bench.RunMVCommit(cfg, bench.DefaultMVCommit(*quick))
+	})
+}
+
+// writeProfile dumps a named runtime profile (after a GC, so allocation
+// profiles reflect live data accurately).
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wtfbench: -%sprofile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "wtfbench: write %s profile: %v\n", name, err)
+	}
 }

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"wtftm/internal/mvstm"
+	"wtftm/internal/workload"
+)
+
+// MVCommitParams configures the MV-STM substrate contention microbenchmark:
+// goroutines committing small read-modify-write transactions directly
+// against the mvstm commit pipeline, with disjoint or overlapping write
+// sets. It is not a paper figure — it measures the substrate every engine
+// in the evaluation bottoms out in, and surfaces the commit pipeline's
+// helping counters.
+type MVCommitParams struct {
+	// Goroutines is the x-axis: concurrent committers.
+	Goroutines []int
+	// HotSet is the number of boxes the "overlap" workload contends on.
+	HotSet int
+}
+
+// DefaultMVCommit returns a host-scaled parameter set.
+func DefaultMVCommit(quick bool) MVCommitParams {
+	p := MVCommitParams{Goroutines: []int{1, 2, 4, 8, 16}, HotSet: 4}
+	if quick {
+		p.Goroutines = []int{1, 2, 4, 8}
+	}
+	return p
+}
+
+// MVCommitPoint is one measurement.
+type MVCommitPoint struct {
+	Footprint  string // "disjoint" or "overlap"
+	Goroutines int
+	// CommitsPerSec is successful read-write commits per second.
+	CommitsPerSec float64
+	// ConflictRate is validation failures / commit attempts.
+	ConflictRate float64
+	// HelpedPerCommit is pipeline completions driven by a non-owner,
+	// normalized by successful commits (0 under a global lock; >0 means
+	// committers made progress on behalf of peers instead of blocking).
+	HelpedPerCommit float64
+	// QueueHWM is the commit queue's length high-water mark.
+	QueueHWM int64
+}
+
+// MVCommitResult is the full sweep.
+type MVCommitResult struct {
+	Params MVCommitParams
+	Points []MVCommitPoint
+}
+
+// RunMVCommit sweeps committer counts over disjoint and overlapping
+// footprints against a fresh STM per point.
+func RunMVCommit(cfg Config, p MVCommitParams) (*MVCommitResult, error) {
+	res := &MVCommitResult{Params: p}
+	for _, footprint := range []string{"disjoint", "overlap"} {
+		for _, g := range p.Goroutines {
+			pt, err := runMVCommitPoint(cfg, p, footprint, g)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, pt)
+			cfg.progress("mvcommit %s g=%d done", footprint, g)
+		}
+	}
+	return res, nil
+}
+
+func runMVCommitPoint(cfg Config, p MVCommitParams, footprint string, g int) (MVCommitPoint, error) {
+	stm := mvstm.New()
+	hot := make([]*mvstm.VBox, p.HotSet)
+	for i := range hot {
+		hot[i] = stm.NewBox(0)
+	}
+	private := make([]*mvstm.VBox, g)
+	for i := range private {
+		private[i] = stm.NewBox(0)
+	}
+	_, elapsed, err := measure(g, cfg.Duration, func(worker int, rng *workload.RNG) (int, error) {
+		box := private[worker]
+		if footprint == "overlap" {
+			box = hot[rng.Intn(len(hot))]
+		}
+		for {
+			tx := stm.Begin()
+			tx.Write(box, tx.Read(box).(int)+1)
+			err := tx.Commit()
+			tx.Release()
+			if err == nil {
+				return 1, nil
+			}
+		}
+	})
+	if err != nil {
+		return MVCommitPoint{}, err
+	}
+	s := stm.Stats().Snapshot()
+	attempts := s.Commits + s.Conflicts
+	pt := MVCommitPoint{
+		Footprint:     footprint,
+		Goroutines:    g,
+		CommitsPerSec: float64(s.Commits) / elapsed.Seconds(),
+		QueueHWM:      s.CommitQueueHWM,
+	}
+	if attempts > 0 {
+		pt.ConflictRate = float64(s.Conflicts) / float64(attempts)
+	}
+	if s.Commits > 0 {
+		pt.HelpedPerCommit = float64(s.HelpedCommits) / float64(s.Commits)
+	}
+	return pt, nil
+}
+
+// Print renders the sweep, including the pipeline's helping counters.
+func (r *MVCommitResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "MV-STM substrate: commit-pipeline throughput and helping counters")
+	t := newTable("footprint", "goroutines", "commits/s", "conflict-rate", "helped/commit", "queue-hwm")
+	for _, pt := range r.Points {
+		t.add(pt.Footprint, fmt.Sprint(pt.Goroutines), fmt.Sprintf("%.0f", pt.CommitsPerSec),
+			f(pt.ConflictRate), f(pt.HelpedPerCommit), fmt.Sprint(pt.QueueHWM))
+	}
+	t.print(w)
+}

@@ -268,8 +268,10 @@ func (t *topTx) commit() (err error) {
 	t.mu.Unlock()
 
 	// Keep the snapshot readable for still-running escaped futures, then
-	// release it once every future settled.
-	release := sys.stm.Pin(t.snap)
+	// release it once every future settled. Pinning through the live Txn
+	// (rather than STM.Pin by value) is race-free against concurrent
+	// commits' version GC: the pin shares the registration's shard entry.
+	release := t.txn.Pin()
 	go func() {
 		t.awaitQuiescent()
 		release()
@@ -280,6 +282,8 @@ func (t *topTx) commit() (err error) {
 	}
 
 	t.installed = t.txn.Installed()
+	t.txn.Release() // recycled; t.installed is ours, the Txn is dead
+	t.txn = nil
 	t.committed.Store(true)
 	t.phase.Store(phaseDone)
 	if escaped > 0 {
@@ -303,7 +307,11 @@ func (t *topTx) abort(cause error) {
 	t.requestAbort(cause)
 	t.phase.Store(phaseDone)
 	t.releaseClaims()
-	t.txn.Discard()
+	if t.txn != nil {
+		t.txn.Discard()
+		t.txn.Release()
+		t.txn = nil
+	}
 	t.sys.record(history.Op{Top: t.id, Flow: 0, Kind: history.TopAbort})
 }
 

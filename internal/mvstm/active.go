@@ -1,0 +1,158 @@
+package mvstm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// activeShards tracks the snapshots of live transactions (and explicit pins)
+// so version GC never trims a version some active snapshot can still read.
+//
+// The table is striped: every transaction is assigned one shard for its whole
+// lifetime (the assignment is made when the Txn object is allocated, so
+// sync.Pool reuse gives natural per-P affinity), and register/unregister/pin
+// for that transaction all go through that one shard. Striping removes the
+// single global mutex the seed implementation took on every Begin/finish.
+//
+// Safety argument for the striped minimum (used as the GC horizon):
+//
+//   - A snapshot that must stay protected is continuously present in exactly
+//     one shard: the registration holds count[snap] >= 1 in the transaction's
+//     shard from Begin to finish, and Txn.Pin adds to the *same* shard entry
+//     before the registration is released. min scans each shard under its
+//     lock, so it either sees the entry or scanned the shard before the snap
+//     existed — and in the latter case the snap was taken from the clock
+//     *after* the scan began, hence snap >= clock >= fallback >= the value
+//     min can return (the fallback passed by the commit pipeline is always
+//     <= the clock at the time min is called).
+//   - STM.Pin (pin by bare snapshot value, no transaction) routes by a hash
+//     of the snapshot value, so repeated pins of one snapshot serialize on
+//     one shard. Like the seed's implementation it is only guaranteed safe
+//     while the pinned snapshot is otherwise protected (current clock or a
+//     registered transaction); see the method's doc.
+type activeShards struct {
+	shards []activeShard
+	mask   int32
+	// seq assigns shards round-robin to newly allocated transactions.
+	seq atomic.Int32
+}
+
+type activeShard struct {
+	mu     sync.Mutex
+	count  map[int64]int
+	minVal int64
+	valid  bool // is minVal an accurate cache?
+	_      [40]byte
+}
+
+// nextPow2 rounds n up to a power of two (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (a *activeShards) init(n int) {
+	if n <= 0 {
+		n = nextPow2(runtime.GOMAXPROCS(0))
+	}
+	n = nextPow2(n)
+	if n > 64 {
+		n = 64
+	}
+	a.shards = make([]activeShard, n)
+	a.mask = int32(n - 1)
+	for i := range a.shards {
+		a.shards[i].count = make(map[int64]int)
+	}
+}
+
+// assign hands out a shard index for a new transaction object.
+func (a *activeShards) assign() int32 {
+	return a.seq.Add(1) & a.mask
+}
+
+// snapShard routes a bare snapshot value (STM.Pin) to a fixed shard.
+func (a *activeShards) snapShard(snap int64) int32 {
+	h := uint64(snap) * 0x9E3779B97F4A7C15
+	return int32(h>>56) & a.mask
+}
+
+// register records a new transaction in the given shard and returns its
+// snapshot. Reading the clock and registering happen under the shard's lock
+// so a concurrent min scan of this shard cannot miss a snapshot older than
+// the horizon it computes.
+func (a *activeShards) register(shard int32, clock *atomic.Int64) int64 {
+	sh := &a.shards[shard]
+	sh.mu.Lock()
+	snap := clock.Load()
+	sh.add(snap)
+	sh.mu.Unlock()
+	return snap
+}
+
+// pin records one extra reference to snap in the given shard.
+func (a *activeShards) pin(shard int32, snap int64) {
+	sh := &a.shards[shard]
+	sh.mu.Lock()
+	sh.add(snap)
+	sh.mu.Unlock()
+}
+
+func (sh *activeShard) add(snap int64) {
+	sh.count[snap]++
+	if sh.valid && snap < sh.minVal {
+		sh.minVal = snap
+	}
+}
+
+func (a *activeShards) unregister(shard int32, snap int64) {
+	sh := &a.shards[shard]
+	sh.mu.Lock()
+	if n := sh.count[snap]; n <= 1 {
+		delete(sh.count, snap)
+		if sh.valid && snap == sh.minVal {
+			sh.valid = false
+		}
+	} else {
+		sh.count[snap] = n - 1
+	}
+	sh.mu.Unlock()
+}
+
+// shardMin returns this shard's smallest tracked snapshot, recomputing the
+// lazily-maintained cache if an unregister invalidated it. Must be called
+// with sh.mu held.
+func (sh *activeShard) shardMin() (int64, bool) {
+	if len(sh.count) == 0 {
+		return 0, false
+	}
+	if !sh.valid {
+		first := true
+		for s := range sh.count {
+			if first || s < sh.minVal {
+				sh.minVal, first = s, false
+			}
+		}
+		sh.valid = true
+	}
+	return sh.minVal, true
+}
+
+// min returns the smallest active snapshot across all shards, or fallback
+// when nothing is tracked (or everything tracked is newer than fallback).
+func (a *activeShards) min(fallback int64) int64 {
+	m := fallback
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		if sm, ok := sh.shardMin(); ok && sm < m {
+			m = sm
+		}
+		sh.mu.Unlock()
+	}
+	return m
+}

@@ -1,0 +1,206 @@
+package mvstm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The per-shard min cache must invalidate when the minimum unregisters and
+// recompute lazily on the next query.
+func TestActiveShardsMinCacheInvalidation(t *testing.T) {
+	var a activeShards
+	a.init(4)
+	var clock atomic.Int64
+
+	clock.Store(5)
+	s5 := a.register(0, &clock)
+	clock.Store(9)
+	s9 := a.register(1, &clock)
+	if s5 != 5 || s9 != 9 {
+		t.Fatalf("registered snaps %d,%d", s5, s9)
+	}
+	if got := a.min(100); got != 5 {
+		t.Fatalf("min = %d, want 5", got)
+	}
+	// Unregistering the minimum must invalidate the cache, not leave 5.
+	a.unregister(0, 5)
+	if got := a.min(100); got != 9 {
+		t.Fatalf("min after unregister = %d, want 9", got)
+	}
+	// Re-registering something smaller updates the cache downward.
+	clock.Store(3)
+	a.register(2, &clock)
+	if got := a.min(100); got != 3 {
+		t.Fatalf("min = %d, want 3", got)
+	}
+	a.unregister(2, 3)
+	a.unregister(1, 9)
+	if got := a.min(42); got != 42 {
+		t.Fatalf("min of empty set = %d, want fallback", got)
+	}
+}
+
+// min must never exceed the fallback (the commit pipeline's pre-publish
+// clock), even when every tracked snapshot is newer: a straggling helper
+// re-completing an old ticket must not trim with a horizon from the future.
+func TestActiveShardsMinCappedByFallback(t *testing.T) {
+	var a activeShards
+	a.init(2)
+	var clock atomic.Int64
+	clock.Store(50)
+	a.register(0, &clock)
+	if got := a.min(10); got != 10 {
+		t.Fatalf("min = %d, want fallback 10 (tracked snap 50 is newer)", got)
+	}
+}
+
+// Duplicate registrations of one snapshot in one shard must be refcounted.
+func TestActiveShardsRefcount(t *testing.T) {
+	var a activeShards
+	a.init(2)
+	var clock atomic.Int64
+	clock.Store(7)
+	a.register(1, &clock)
+	a.pin(1, 7)
+	a.unregister(1, 7)
+	if got := a.min(100); got != 7 {
+		t.Fatalf("min = %d, want 7 (pin still holds)", got)
+	}
+	a.unregister(1, 7)
+	if got := a.min(100); got != 100 {
+		t.Fatalf("min = %d, want fallback after last release", got)
+	}
+}
+
+// Txn.Pin must hand the pin to the transaction's own shard entry so there is
+// no instant at which the snapshot is untracked: versions visible at the
+// pinned snapshot survive the transaction's own commit and arbitrarily many
+// later commits.
+func TestTxnPinSurvivesOwnCommit(t *testing.T) {
+	s := New()
+	b := s.NewBox("base")
+	tx := s.Begin()
+	pinned := tx.Snapshot()
+	release := tx.Pin()
+	tx.Write(b, "mine")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx.Release()
+	for i := 0; i < 50; i++ {
+		if err := s.Atomic(func(w *Txn) error { w.Write(b, i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.ReadAt(pinned).Value; got != "base" {
+		t.Fatalf("pinned read = %v, want base", got)
+	}
+	release()
+	release() // idempotent
+	// After release the old version may be trimmed by the next commits.
+	for i := 0; i < 5; i++ {
+		if err := s.Atomic(func(w *Txn) error { w.Write(b, i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	for v := b.Head(); v != nil; v = v.Prev() {
+		n++
+	}
+	if n > 2 {
+		t.Fatalf("chain length after release = %d, want <= 2", n)
+	}
+}
+
+// The GC-horizon race: transactions pin their snapshot, commit, and escaped
+// readers keep reading at the pinned snapshot while other goroutines commit
+// and trim concurrently. ReadAt must never panic for a pinned snapshot.
+// (Run under -race; this is the scenario the commit pipeline's activeShards
+// safety argument covers.)
+func TestTxnPinAgainstConcurrentCommits(t *testing.T) {
+	s := New()
+	boxes := make([]*VBox, 8)
+	for i := range boxes {
+		boxes[i] = s.NewBox(0)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = s.Atomic(func(tx *Txn) error {
+					b := boxes[(w+i)%len(boxes)]
+					tx.Write(b, tx.Read(b).(int)+1)
+					return nil
+				})
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 300; i++ {
+				tx := s.Begin()
+				snap := tx.Snapshot()
+				release := tx.Pin()
+				tx.Discard()
+				tx.Release()
+				// The transaction is gone; the pin alone must keep every
+				// box readable at snap, racing the committers' GC.
+				for _, b := range boxes {
+					_ = b.ReadAt(snap)
+				}
+				release()
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+// Version GC must still make progress once a long-lived pin releases, even
+// though trims were skipped (trimmedAt watermark) while it was held.
+func TestTrimWatermarkResumesAfterPinRelease(t *testing.T) {
+	s := New()
+	b := s.NewBox(0)
+	tx := s.Begin()
+	release := tx.Pin()
+	tx.Discard()
+	tx.Release()
+	for i := 1; i <= 100; i++ {
+		if err := s.Atomic(func(w *Txn) error { w.Write(b, i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	for v := b.Head(); v != nil; v = v.Prev() {
+		n++
+	}
+	if n != 101 {
+		t.Fatalf("chain length while pinned = %d, want 101 (nothing trimmable)", n)
+	}
+	release()
+	for i := 0; i < 2; i++ {
+		if err := s.Atomic(func(w *Txn) error { w.Write(b, i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n = 0
+	for v := b.Head(); v != nil; v = v.Prev() {
+		n++
+	}
+	if n > 2 {
+		t.Fatalf("chain length after release = %d, want <= 2", n)
+	}
+}

@@ -5,6 +5,13 @@
 // transactions never abort, and read-write transactions validate their
 // read set at commit time (first committer wins).
 //
+// Read-write commits go through a parallel, helping-based commit pipeline
+// (see commit.go) instead of a global lock: disjoint-footprint commits do
+// not wait on each other and no committer blocks on a suspended peer.
+// Active-snapshot tracking for version GC is striped across shards (see
+// active.go), and transaction objects are recycled through a sync.Pool with
+// allocation-free read/write set representations (see pool.go).
+//
 // The package is the substrate the WTF-TM engine (internal/core) builds on;
 // it deliberately supports no intra-transaction parallelism of its own, as
 // assumed by Section 4 of the paper.
@@ -47,6 +54,12 @@ func (v *Version) Prev() *Version { return v.prev.Load() }
 // base version visible to every snapshot.
 type VBox struct {
 	head atomic.Pointer[Version]
+	// trimmedAt is the highest GC horizon this box's chain has been trimmed
+	// to. When the horizon has not advanced since the last trim there is
+	// nothing new to cut, so commits skip the O(chain-length) walk — without
+	// this, a single long-lived snapshot (which legitimately pins every newer
+	// version) degrades every commit on a hot box to a full-chain scan.
+	trimmedAt atomic.Int64
 	// Name is an optional debugging label.
 	Name string
 }
@@ -73,11 +86,20 @@ type Stats struct {
 	ReadOnlyCommits atomic.Int64 // commits that wrote nothing
 	Conflicts       atomic.Int64 // commit-time validation failures
 	Begins          atomic.Int64 // transactions started
+	// HelpedCommits counts commit requests whose completion (write-back +
+	// clock publish) was driven to visibility by a transaction other than
+	// their owner — the "helping" of the lock-free commit pipeline.
+	HelpedCommits atomic.Int64
+	// CommitQueueHWM is the high-water mark of the commit pipeline's queue
+	// length: the largest observed distance (in tickets) between a freshly
+	// enqueued request and the oldest not-yet-completed one.
+	CommitQueueHWM atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
 type StatsSnapshot struct {
 	Commits, ReadOnlyCommits, Conflicts, Begins int64
+	HelpedCommits, CommitQueueHWM               int64
 }
 
 // Snapshot returns a consistent-enough point-in-time copy of the counters.
@@ -87,22 +109,36 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		ReadOnlyCommits: s.ReadOnlyCommits.Load(),
 		Conflicts:       s.Conflicts.Load(),
 		Begins:          s.Begins.Load(),
+		HelpedCommits:   s.HelpedCommits.Load(),
+		CommitQueueHWM:  s.CommitQueueHWM.Load(),
 	}
 }
 
 // STM is a multi-versioned transactional memory instance. The zero value is
 // not usable; create instances with New.
 type STM struct {
-	clock    atomic.Int64
-	commitMu sync.Mutex
-	active   activeSet
-	stats    Stats
+	clock atomic.Int64
+	// commitHead is the most recent fully-completed commit request (initially
+	// a sentinel at ticket 0); commitTail is a lag-allowed hint to the last
+	// enqueued one. See commit.go.
+	commitHead atomic.Pointer[commitRequest]
+	commitTail atomic.Pointer[commitRequest]
+	active     activeShards
+	stats      Stats
+	txnPool    sync.Pool
 }
 
 // New returns an empty STM with the clock at zero.
 func New() *STM {
 	s := &STM{}
-	s.active.init()
+	s.active.init(0)
+	sentinel := &commitRequest{}
+	sentinel.done.Store(true)
+	s.commitHead.Store(sentinel)
+	s.commitTail.Store(sentinel)
+	s.txnPool.New = func() any {
+		return &Txn{stm: s, shard: s.active.assign(), done: true}
+	}
 	return s
 }
 
@@ -126,29 +162,36 @@ func (s *STM) NewBoxNamed(name string, init any) *VBox {
 // Txn is a single-threaded read-write transaction. All methods must be
 // called from one goroutine; concurrent snapshot reads of boxes can instead
 // go through VBox.ReadAt directly (that is what the futures engine does).
+//
+// Txn objects are recycled through the STM's pool; see Release.
 type Txn struct {
 	stm   *STM
 	snap  int64
-	reads map[*VBox]struct{}
-	// writes preserves insertion order so deterministic iteration is
-	// possible; the map gives O(1) lookup.
+	shard int32 // activeShards stripe this transaction registers in
+	done  bool
+
+	// Read set: inline array spilling to a map past readInlineCap distinct
+	// boxes (see pool.go). The two representations never overlap.
+	readsN      int
+	readsInline [readInlineCap]*VBox
+	readsMap    map[*VBox]struct{}
+
+	// Write set: writeOrder preserves insertion order so deterministic
+	// iteration is possible; the map gives O(1) lookup. Both containers are
+	// reused across pool generations.
 	writes     map[*VBox]any
 	writeOrder []*VBox
-	installed  map[*VBox]*Version
-	done       bool
+
+	installed map[*VBox]*Version
 }
 
 // Begin starts a transaction reading the snapshot identified by the current
 // clock value.
 func (s *STM) Begin() *Txn {
 	s.stats.Begins.Add(1)
-	snap := s.active.register(&s.clock)
-	return &Txn{
-		stm:    s,
-		snap:   snap,
-		reads:  make(map[*VBox]struct{}),
-		writes: make(map[*VBox]any),
-	}
+	t := s.getTxn()
+	t.snap = s.active.register(t.shard, &s.clock)
+	return t
 }
 
 // Snapshot returns the clock value this transaction reads at.
@@ -164,7 +207,7 @@ func (t *Txn) Read(b *VBox) any {
 	if v, ok := t.writes[b]; ok {
 		return v
 	}
-	t.reads[b] = struct{}{}
+	t.noteRead(b)
 	return b.ReadAt(t.snap).Value
 }
 
@@ -173,6 +216,9 @@ func (t *Txn) Read(b *VBox) any {
 func (t *Txn) Write(b *VBox, v any) {
 	if t.done {
 		panic(ErrDone)
+	}
+	if t.writes == nil {
+		t.writes = make(map[*VBox]any, 8)
 	}
 	if _, ok := t.writes[b]; !ok {
 		t.writeOrder = append(t.writeOrder, b)
@@ -187,7 +233,7 @@ func (t *Txn) NoteRead(b *VBox) {
 	if t.done {
 		panic(ErrDone)
 	}
-	t.reads[b] = struct{}{}
+	t.noteRead(b)
 }
 
 // NoteWrite is Write; it exists for symmetry with NoteRead at engine
@@ -195,48 +241,28 @@ func (t *Txn) NoteRead(b *VBox) {
 func (t *Txn) NoteWrite(b *VBox, v any) { t.Write(b, v) }
 
 // HasWrites reports whether the transaction buffered any write.
-func (t *Txn) HasWrites() bool { return len(t.writes) > 0 }
+func (t *Txn) HasWrites() bool { return len(t.writeOrder) > 0 }
 
 // Commit attempts to make the transaction's writes visible atomically.
-// Read-only transactions always succeed without synchronization. On
+// Read-only transactions always succeed without synchronization. Read-write
+// transactions go through the parallel commit pipeline (commit.go); on
 // ErrConflict the transaction is discarded and must be re-run from Begin.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrDone
 	}
 	s := t.stm
-	if len(t.writes) == 0 {
+	if len(t.writeOrder) == 0 {
 		t.finish()
 		s.stats.ReadOnlyCommits.Add(1)
 		return nil
 	}
-	s.commitMu.Lock()
-	// Validate: every box read must not have a version newer than our
-	// snapshot (first committer wins).
-	for b := range t.reads {
-		if b.head.Load().TS > t.snap {
-			s.commitMu.Unlock()
-			t.finish()
-			s.stats.Conflicts.Add(1)
-			return ErrConflict
-		}
-	}
-	newTS := s.clock.Load() + 1
-	// The GC horizon may never exceed the pre-bump clock: a transaction
-	// beginning concurrently with this commit snapshots at newTS-1 and must
-	// still find a visible version on every box.
-	horizon := s.active.min(newTS - 1)
-	t.installed = make(map[*VBox]*Version, len(t.writes))
-	for _, b := range t.writeOrder {
-		v := &Version{Value: t.writes[b], TS: newTS}
-		v.prev.Store(b.head.Load())
-		b.head.Store(v)
-		t.installed[b] = v
-		trim(v, horizon)
-	}
-	s.clock.Store(newTS) // publish: new versions become visible
-	s.commitMu.Unlock()
+	err := s.commitWrites(t)
 	t.finish()
+	if err != nil {
+		s.stats.Conflicts.Add(1)
+		return err
+	}
 	s.stats.Commits.Add(1)
 	return nil
 }
@@ -255,41 +281,63 @@ func (t *Txn) Discard() {
 }
 
 func (t *Txn) finish() {
-	t.stm.active.unregister(t.snap)
+	t.stm.active.unregister(t.shard, t.snap)
 	t.done = true
 }
 
-// Pin keeps every version visible at snap alive until the returned release
-// function is called, independently of any transaction. The futures engine
+// Pin keeps every version visible at the transaction's snapshot alive until
+// the returned release function is called, independently of the transaction
+// itself. It must be called while the transaction is still live (before
+// Commit/Discard); the pin then survives the transaction. The futures engine
 // pins a top-level transaction's snapshot while detached (escaping) futures
 // spawned by it are still executing.
-func (s *STM) Pin(snap int64) (release func()) {
-	s.active.mu.Lock()
-	s.active.count[snap]++
-	if s.active.valid && snap < s.active.minVal {
-		s.active.minVal = snap
+//
+// Unlike STM.Pin, Txn.Pin is always safe with respect to concurrent version
+// GC: the pin is recorded in the same shard — the same count entry — as the
+// transaction's own registration, so there is no instant at which the
+// snapshot is untracked.
+func (t *Txn) Pin() (release func()) {
+	if t.done {
+		panic(ErrDone)
 	}
-	s.active.mu.Unlock()
+	s, shard, snap := t.stm, t.shard, t.snap
+	s.active.pin(shard, snap)
 	var once sync.Once
-	return func() { once.Do(func() { s.active.unregister(snap) }) }
+	return func() { once.Do(func() { s.active.unregister(shard, snap) }) }
+}
+
+// Pin keeps every version visible at snap alive until the returned release
+// function is called. snap must be protected when Pin is called: either the
+// current clock value or the snapshot of some live transaction or pin (use
+// Txn.Pin to pin a live transaction's snapshot race-free).
+func (s *STM) Pin(snap int64) (release func()) {
+	shard := s.active.snapShard(snap)
+	s.active.pin(shard, snap)
+	var once sync.Once
+	return func() { once.Do(func() { s.active.unregister(shard, snap) }) }
 }
 
 // Atomic runs fn in a transaction, retrying automatically on commit
 // conflicts. A non-nil error from fn aborts the transaction permanently and
 // is returned as-is. fn may also return ErrConflict to request an explicit
 // retry.
+//
+// The transaction handle passed to fn is recycled after each attempt and
+// must not be retained or used after fn returns.
 func (s *STM) Atomic(fn func(*Txn) error) error {
 	for {
 		t := s.Begin()
 		err := fn(t)
 		if err != nil {
-			t.Discard()
+			t.Release()
 			if errors.Is(err, ErrConflict) {
 				continue
 			}
 			return err
 		}
-		if err := t.Commit(); err == nil {
+		err = t.Commit()
+		t.Release()
+		if err == nil {
 			return nil
 		}
 	}
@@ -305,62 +353,4 @@ func trim(newest *Version, horizon int64) {
 	if v != nil {
 		v.prev.Store(nil)
 	}
-}
-
-// activeSet tracks the snapshots of live transactions so version GC never
-// trims a version some active transaction can still read.
-type activeSet struct {
-	mu     sync.Mutex
-	count  map[int64]int
-	minVal int64
-	valid  bool // is minVal an accurate cache?
-}
-
-func (a *activeSet) init() { a.count = make(map[int64]int) }
-
-// register records a new transaction and returns its snapshot. Reading the
-// clock and registering happen under the set's lock so a commit cannot slide
-// the GC horizon past a snapshot that is about to register.
-func (a *activeSet) register(clock *atomic.Int64) int64 {
-	a.mu.Lock()
-	snap := clock.Load()
-	a.count[snap]++
-	if a.valid && snap < a.minVal {
-		a.minVal = snap
-	}
-	a.mu.Unlock()
-	return snap
-}
-
-func (a *activeSet) unregister(snap int64) {
-	a.mu.Lock()
-	if n := a.count[snap]; n <= 1 {
-		delete(a.count, snap)
-		if a.valid && snap == a.minVal {
-			a.valid = false
-		}
-	} else {
-		a.count[snap] = n - 1
-	}
-	a.mu.Unlock()
-}
-
-// min returns the smallest active snapshot, or fallback when no transaction
-// is active.
-func (a *activeSet) min(fallback int64) int64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if len(a.count) == 0 {
-		return fallback
-	}
-	if !a.valid {
-		first := true
-		for s := range a.count {
-			if first || s < a.minVal {
-				a.minVal, first = s, false
-			}
-		}
-		a.valid = true
-	}
-	return a.minVal
 }

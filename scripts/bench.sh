@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Record the mvstm micro-benchmarks (commit contention, begin/finish) into
+# BENCH_mvstm.json so successive PRs accumulate a perf trajectory.
+#
+# Usage: scripts/bench.sh <label> [benchtime]
+#   label      name of this measurement (e.g. "seed", "commit-pipeline")
+#   benchtime  go test -benchtime value (default 0.5s)
+set -e
+cd "$(dirname "$0")/.."
+
+LABEL="${1:?usage: scripts/bench.sh <label> [benchtime]}"
+BENCHTIME="${2:-0.5s}"
+OUT=BENCH_mvstm.json
+
+RAW=$(go test -run '^$' -bench 'BenchmarkCommitContention|BenchmarkBeginFinish|BenchmarkReadOnly' \
+	-benchtime "$BENCHTIME" -benchmem ./internal/mvstm/)
+
+# Convert `go test -bench` lines into JSON entries.
+ENTRIES=$(printf '%s\n' "$RAW" | awk '
+	/^Benchmark/ {
+		name = $1; iters = $2; ns = $3; bop = ""; allocs = ""
+		for (i = 4; i <= NF; i++) {
+			if ($(i) == "B/op")      bop = $(i-1)
+			if ($(i) == "allocs/op") allocs = $(i-1)
+		}
+		printf "{\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", name, iters, ns
+		if (bop != "")    printf ",\"b_per_op\":%s", bop
+		if (allocs != "") printf ",\"allocs_per_op\":%s", allocs
+		print "}"
+	}' | jq -s .)
+
+META=$(jq -n \
+	--arg lbl "$LABEL" \
+	--arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	--arg rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+	--arg go "$(go version | awk '{print $3}')" \
+	--argjson cpus "$(nproc)" \
+	--argjson benches "$ENTRIES" \
+	'{"label":$lbl,"date":$date,"rev":$rev,"go":$go,"cpus":$cpus,"benches":$benches}')
+
+if [ -f "$OUT" ]; then
+	jq --argjson entry "$META" '. + [$entry]' "$OUT" >"$OUT.tmp" && mv "$OUT.tmp" "$OUT"
+else
+	jq -n --argjson entry "$META" '[$entry]' >"$OUT"
+fi
+
+echo "recorded '$LABEL' into $OUT:"
+printf '%s\n' "$RAW" | grep '^Benchmark' || true

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tier-1.5 gate: everything tier-1 runs (build + full tests) plus vet and the
+# race detector over the concurrency-critical packages (the lock-free commit
+# pipeline and the futures engine). Run before merging substrate changes.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + tests =="
+go build ./...
+go test ./...
+
+echo "== tier-1.5: vet =="
+go vet ./...
+
+echo "== tier-1.5: race (mvstm commit pipeline + core engine) =="
+go test -race ./internal/mvstm/ ./internal/core/
+
+echo "ci: all gates passed"

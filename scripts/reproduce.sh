@@ -12,6 +12,9 @@ go vet ./...
 echo "== tests (unit + integration + property) =="
 go test ./...
 
+echo "== race gate (commit pipeline + futures engine; scripts/ci.sh) =="
+go test -race ./internal/mvstm/ ./internal/core/
+
 echo "== formal-model self-check (Fig. 1a program) =="
 go run ./cmd/fsgcheck -demo -witness 2>/dev/null
 
