@@ -1,0 +1,99 @@
+// Command wtfd is a sharded transactional key-value store daemon that
+// serves the WTF-TM futures engine over TCP (internal/server): every request
+// is one atomic transaction, and a MULTI batch fans its per-shard command
+// groups out as transactional futures.
+//
+// Usage:
+//
+//	wtfd [-listen addr] [-shards n] [-buckets n] [-workers n]
+//	     [-ordering wo|so] [-atomicity lac|gac] [-stats interval]
+//
+// The -ordering flag selects the future semantics MULTI batches run under:
+// wo (weakly ordered, the paper's WTF-TM) or so (strongly ordered, the JTF
+// baseline). -stats periodically prints the server/engine/substrate counter
+// snapshot — the same document the STATS wire op returns — to stderr.
+//
+// wtfd shuts down gracefully on SIGINT/SIGTERM: it refuses new connections,
+// completes in-flight transactions, flushes their responses, then exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wtftm"
+	"wtftm/internal/server"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+		shards    = flag.Int("shards", 16, "store shard count (MULTI fan-out width)")
+		buckets   = flag.Int("buckets", 64, "hash buckets per shard")
+		workers   = flag.Int("workers", 0, "request worker pool size (0 = 4×GOMAXPROCS)")
+		ordering  = flag.String("ordering", "wo", "futures ordering semantics: wo|so")
+		atomicity = flag.String("atomicity", "lac", "escaping-future atomicity: lac|gac")
+		stats     = flag.Duration("stats", 0, "print counter snapshots at this interval (0 = off)")
+	)
+	flag.Parse()
+
+	cfg := server.Config{Shards: *shards, Buckets: *buckets, Workers: *workers}
+	switch *ordering {
+	case "wo":
+		cfg.Ordering = wtftm.WO
+	case "so":
+		cfg.Ordering = wtftm.SO
+	default:
+		fmt.Fprintf(os.Stderr, "wtfd: unknown -ordering %q\n", *ordering)
+		os.Exit(2)
+	}
+	switch *atomicity {
+	case "lac":
+		cfg.Atomicity = wtftm.LAC
+	case "gac":
+		cfg.Atomicity = wtftm.GAC
+	default:
+		fmt.Fprintf(os.Stderr, "wtfd: unknown -atomicity %q\n", *atomicity)
+		os.Exit(2)
+	}
+
+	s := server.New(cfg)
+	if err := s.Listen(*listen); err != nil {
+		fmt.Fprintf(os.Stderr, "wtfd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wtfd: serving on %s (shards=%d ordering=%s atomicity=%s)\n",
+		s.Addr(), *shards, *ordering, *atomicity)
+
+	if *stats > 0 {
+		go func() {
+			for range time.Tick(*stats) {
+				printStats(s)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "wtfd: draining...")
+	s.Drain()
+	printStats(s)
+	fmt.Fprintln(os.Stderr, "wtfd: bye")
+}
+
+// printStats dumps the engine and substrate counters through the wtftm
+// facade snapshots — the process-local view of what the STATS op serves.
+func printStats(s *server.Server) {
+	var (
+		engine wtftm.StatsSnapshot    = s.System().Stats().Snapshot()
+		stm    wtftm.STMStatsSnapshot = s.STM().Stats().Snapshot()
+	)
+	out, _ := json.Marshal(map[string]any{"engine": engine, "stm": stm})
+	fmt.Fprintf(os.Stderr, "wtfd: stats %s\n", out)
+}

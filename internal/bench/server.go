@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"wtftm/internal/client"
+	"wtftm/internal/core"
+	"wtftm/internal/server"
+	"wtftm/internal/wire"
+	"wtftm/internal/workload"
+)
+
+// ServerParams configures the wtfd end-to-end experiment: a closed-loop
+// load generator against an in-process server on the loopback interface,
+// sweeping client counts and MULTI batch sizes under WO and SO futures.
+// It is not a paper figure — it measures the paper's semantics axis as an
+// operator-visible serving knob: how much does weakly ordered fan-out buy a
+// networked request once protocol framing, scheduling and the commit
+// pipeline are all in the path?
+type ServerParams struct {
+	// Clients is the x-axis: concurrent closed-loop clients, one pipelined
+	// connection each.
+	Clients []int
+	// Batches are the MULTI batch sizes to sweep; batch 1 issues plain
+	// single-key requests (no futures) as the baseline.
+	Batches []int
+	// Keys is the keyspace size (uniform access).
+	Keys int
+	// Shards is the server's store partition count (the fan-out ceiling).
+	Shards int
+	// WriteRatio is the fraction of PUTs in the command mix (rest are GETs).
+	WriteRatio float64
+}
+
+// DefaultServer returns a host-scaled parameter set: ≥3 client counts and
+// ≥2 batch sizes per ordering.
+func DefaultServer(quick bool) ServerParams {
+	p := ServerParams{
+		Clients:    []int{1, 2, 4, 8, 16},
+		Batches:    []int{1, 8, 32},
+		Keys:       1 << 14,
+		Shards:     16,
+		WriteRatio: 0.2,
+	}
+	if quick {
+		p.Clients = []int{1, 2, 4}
+		p.Batches = []int{1, 8}
+		p.Keys = 1 << 10
+		p.Shards = 8
+	}
+	return p
+}
+
+// ServerPoint is one measurement.
+type ServerPoint struct {
+	Ordering string // "WO" or "SO"
+	Clients  int
+	Batch    int
+	// ReqPerSec is completed requests (frames) per second.
+	ReqPerSec float64
+	// KeysPerSec is ReqPerSec × batch: per-key serving rate.
+	KeysPerSec float64
+	// P50 and P99 are request latency percentiles.
+	P50 time.Duration
+	P99 time.Duration
+}
+
+// ServerResult is the full sweep.
+type ServerResult struct {
+	Params ServerParams
+	Points []ServerPoint
+}
+
+// RunServer sweeps orderings × client counts × batch sizes, one fresh
+// server per point (so a point's commit history cannot warm another's).
+func RunServer(cfg Config, p ServerParams) (*ServerResult, error) {
+	res := &ServerResult{Params: p}
+	for _, ord := range []core.Ordering{core.WO, core.SO} {
+		for _, batch := range p.Batches {
+			for _, clients := range p.Clients {
+				pt, err := runServerPoint(cfg, p, ord, clients, batch)
+				if err != nil {
+					return nil, err
+				}
+				res.Points = append(res.Points, pt)
+				cfg.progress("server %s clients=%d batch=%d done", ord, clients, batch)
+			}
+		}
+	}
+	return res, nil
+}
+
+func runServerPoint(cfg Config, p ServerParams, ord core.Ordering, clients, batch int) (ServerPoint, error) {
+	srv := server.New(server.Config{Ordering: ord, Shards: p.Shards})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return ServerPoint{}, err
+	}
+	defer srv.Drain()
+	addr := srv.Addr().String()
+
+	// Prefill the keyspace so GETs hit.
+	seed := client.New(client.Options{Addr: addr, Conns: 1})
+	var fill []wire.Cmd
+	for i := 0; i < p.Keys; i++ {
+		fill = append(fill, wire.Put(benchKey(i), []byte("0")))
+		if len(fill) == 512 || i == p.Keys-1 {
+			if _, _, err := seed.Multi(fill); err != nil {
+				seed.Close()
+				return ServerPoint{}, err
+			}
+			fill = fill[:0]
+		}
+	}
+	seed.Close()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		totalReq int64
+		lats     []time.Duration
+	)
+	deadline := time.Now().Add(cfg.Duration)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := client.New(client.Options{Addr: addr, Conns: 1})
+			defer cl.Close()
+			rng := workload.NewRNG(uint64(w)*2654435761 + 12345)
+			var reqs int64
+			local := make([]time.Duration, 0, 4096)
+			cmds := make([]wire.Cmd, batch)
+			for time.Now().Before(deadline) {
+				for i := range cmds {
+					key := benchKey(rng.Intn(p.Keys))
+					if rng.Float64() < p.WriteRatio {
+						cmds[i] = wire.Put(key, []byte("1"))
+					} else {
+						cmds[i] = wire.Get(key)
+					}
+				}
+				start := time.Now()
+				var err error
+				if batch == 1 {
+					switch cmds[0].Op {
+					case wire.OpPut:
+						err = cl.Put(cmds[0].Key, string(cmds[0].Val))
+					default:
+						_, _, err = cl.Get(cmds[0].Key)
+					}
+				} else {
+					_, _, err = cl.Multi(cmds)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(start))
+				reqs++
+			}
+			mu.Lock()
+			totalReq += reqs
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return ServerPoint{}, firstErr
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pt := ServerPoint{
+		Ordering:   ord.String(),
+		Clients:    clients,
+		Batch:      batch,
+		ReqPerSec:  float64(totalReq) / cfg.Duration.Seconds(),
+		KeysPerSec: float64(totalReq*int64(batch)) / cfg.Duration.Seconds(),
+		P50:        percentile(lats, 0.50),
+		P99:        percentile(lats, 0.99),
+	}
+	return pt, nil
+}
+
+func benchKey(i int) string { return fmt.Sprintf("bench-key-%d", i) }
+
+// percentile returns the q-th latency percentile of a sorted sample
+// (nearest-rank; zero for an empty sample).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Print renders the sweep: WO vs SO serving throughput and tail latency.
+func (r *ServerResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "wtfd end-to-end: MULTI fan-out under WO vs SO futures (closed loop, loopback TCP)")
+	t := newTable("ordering", "clients", "batch", "req/s", "keys/s", "p50", "p99")
+	for _, pt := range r.Points {
+		t.add(pt.Ordering, fmt.Sprint(pt.Clients), fmt.Sprint(pt.Batch),
+			fmt.Sprintf("%.0f", pt.ReqPerSec), fmt.Sprintf("%.0f", pt.KeysPerSec),
+			pt.P50.Round(time.Microsecond).String(), pt.P99.Round(time.Microsecond).String())
+	}
+	t.print(w)
+}

@@ -1,0 +1,354 @@
+// Package client is the Go client for wtfd (see internal/server): a small
+// pool of TCP connections, each carrying pipelined length-prefixed frames
+// (internal/wire). Any number of goroutines may share one Client; calls on
+// the same connection interleave on the wire and are matched back to their
+// callers by request ID, so one slow request does not serialize the others.
+//
+// A connection that fails is redialed transparently on its next use: calls
+// in flight on the broken connection return the transport error, later
+// calls re-establish the connection (see TestReconnectAfterRestart).
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wtftm/internal/wire"
+)
+
+// Options configures a Client.
+type Options struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Conns is the connection-pool size; default 2. Calls are spread
+	// round-robin; each connection pipelines independently.
+	Conns int
+	// DialTimeout bounds one connection attempt; default 5s.
+	DialTimeout time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Conns <= 0 {
+		out.Conns = 2
+	}
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 5 * time.Second
+	}
+	return out
+}
+
+// ErrClosed is returned by calls on a closed Client.
+var ErrClosed = errors.New("client: closed")
+
+// ServerError reports a response the server answered with a non-OK status
+// that the typed helpers cannot express in their results (StatusErr,
+// StatusUnavailable, unexpected codes).
+type ServerError struct {
+	Status wire.Status
+	Msg    string
+}
+
+func (e *ServerError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("client: server returned %v: %s", e.Status, e.Msg)
+	}
+	return fmt.Sprintf("client: server returned %v", e.Status)
+}
+
+// Client is a pooled, pipelined wtfd client. Safe for concurrent use.
+type Client struct {
+	opts   Options
+	closed atomic.Bool
+	next   atomic.Uint64
+	slots  []*slot
+}
+
+// slot is one pool position: a lazily dialed, replace-on-failure conn.
+type slot struct {
+	mu sync.Mutex
+	c  *conn
+}
+
+// conn is one live TCP connection with a reader goroutine dispatching
+// responses to waiting callers by request ID.
+type conn struct {
+	nc  net.Conn
+	bw  *bufio.Writer
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint32]chan wire.Response
+	idSeq   uint32
+	err     error // set once broken; guards new sends
+}
+
+// New creates a client. No connection is made until the first call.
+func New(opts Options) *Client {
+	opts = opts.withDefaults()
+	c := &Client{opts: opts, slots: make([]*slot, opts.Conns)}
+	for i := range c.slots {
+		c.slots[i] = &slot{}
+	}
+	return c
+}
+
+// Close closes every pooled connection; in-flight calls fail.
+func (cl *Client) Close() {
+	cl.closed.Store(true)
+	for _, s := range cl.slots {
+		s.mu.Lock()
+		if s.c != nil {
+			s.c.fail(ErrClosed)
+			s.c = nil
+		}
+		s.mu.Unlock()
+	}
+}
+
+// acquire picks the next pool slot and returns its live connection,
+// (re)dialing if the slot is empty or its connection has failed.
+func (cl *Client) acquire() (*conn, error) {
+	if cl.closed.Load() {
+		return nil, ErrClosed
+	}
+	s := cl.slots[cl.next.Add(1)%uint64(len(cl.slots))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c != nil && s.c.alive() {
+		return s.c, nil
+	}
+	nc, err := net.DialTimeout("tcp", cl.opts.Addr, cl.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &conn{nc: nc, bw: bufio.NewWriter(nc), pending: make(map[uint32]chan wire.Response)}
+	go c.readLoop()
+	s.c = c
+	return c, nil
+}
+
+func (c *conn) alive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err == nil
+}
+
+// fail marks the connection broken and delivers err to every waiter.
+func (c *conn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, ch := range pending {
+		close(ch) // receivers translate a closed channel into c.err
+	}
+}
+
+func (c *conn) readLoop() {
+	br := bufio.NewReader(c.nc)
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		buf = payload[:0]
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			c.fail(fmt.Errorf("client: protocol error: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// roundTrip sends req (assigning its ID) and waits for the matching
+// response.
+func (c *conn) roundTrip(req *wire.Request) (wire.Response, error) {
+	ch := make(chan wire.Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return wire.Response{}, err
+	}
+	c.idSeq++
+	req.ID = c.idSeq
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	payload, err := wire.AppendRequest(nil, req)
+	if err != nil { // encoding error: local bug or limit violation
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return wire.Response{}, err
+	}
+	c.wmu.Lock()
+	werr := wire.WriteFrame(c.bw, payload)
+	if werr == nil {
+		werr = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		c.fail(fmt.Errorf("client: write failed: %w", werr))
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("client: connection closed")
+		}
+		return wire.Response{}, err
+	}
+	return resp, nil
+}
+
+func (cl *Client) call(req *wire.Request) (wire.Response, error) {
+	c, err := cl.acquire()
+	if err != nil {
+		return wire.Response{}, err
+	}
+	return c.roundTrip(req)
+}
+
+func statusErr(res *wire.Result) error {
+	msg := ""
+	if res.HasVal {
+		msg = string(res.Val)
+	}
+	return &ServerError{Status: res.Status, Msg: msg}
+}
+
+// Ping round-trips an empty request.
+func (cl *Client) Ping() error {
+	resp, err := cl.call(&wire.Request{Op: wire.OpPing})
+	if err != nil {
+		return err
+	}
+	if resp.Result.Status != wire.StatusOK {
+		return statusErr(&resp.Result)
+	}
+	return nil
+}
+
+// Get returns the value of key and whether it is present.
+func (cl *Client) Get(key string) (string, bool, error) {
+	resp, err := cl.call(&wire.Request{Op: wire.OpGet, Cmd: wire.Get(key)})
+	if err != nil {
+		return "", false, err
+	}
+	switch resp.Result.Status {
+	case wire.StatusOK:
+		return string(resp.Result.Val), true, nil
+	case wire.StatusNotFound:
+		return "", false, nil
+	default:
+		return "", false, statusErr(&resp.Result)
+	}
+}
+
+// Put stores val under key.
+func (cl *Client) Put(key, val string) error {
+	resp, err := cl.call(&wire.Request{Op: wire.OpPut, Cmd: wire.Put(key, []byte(val))})
+	if err != nil {
+		return err
+	}
+	if resp.Result.Status != wire.StatusOK {
+		return statusErr(&resp.Result)
+	}
+	return nil
+}
+
+// Del removes key, reporting whether it was present.
+func (cl *Client) Del(key string) (bool, error) {
+	resp, err := cl.call(&wire.Request{Op: wire.OpDel, Cmd: wire.Del(key)})
+	if err != nil {
+		return false, err
+	}
+	switch resp.Result.Status {
+	case wire.StatusOK:
+		return true, nil
+	case wire.StatusNotFound:
+		return false, nil
+	default:
+		return false, statusErr(&resp.Result)
+	}
+}
+
+// CAS atomically replaces key's value with val iff the current value equals
+// expect (nil expect ⇒ key must be absent). On mismatch it reports ok ==
+// false and the current value (cur == nil: key absent).
+func (cl *Client) CAS(key string, expect []byte, val string) (ok bool, cur []byte, err error) {
+	resp, err := cl.call(&wire.Request{Op: wire.OpCAS, Cmd: wire.CAS(key, expect, []byte(val))})
+	if err != nil {
+		return false, nil, err
+	}
+	switch resp.Result.Status {
+	case wire.StatusOK:
+		return true, nil, nil
+	case wire.StatusCASMismatch:
+		if resp.Result.HasVal {
+			return false, resp.Result.Val, nil
+		}
+		return false, nil, nil
+	default:
+		return false, nil, statusErr(&resp.Result)
+	}
+}
+
+// Multi executes a batch of commands as one atomic server-side transaction
+// (the batch fans out over transactional futures on the server). It returns
+// the per-command results and whether the batch applied; applied == false
+// means a CAS in the batch failed and no write was applied.
+func (cl *Client) Multi(cmds []wire.Cmd) (results []wire.Result, applied bool, err error) {
+	resp, err := cl.call(&wire.Request{Op: wire.OpMulti, Batch: cmds})
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.Result.Status {
+	case wire.StatusOK:
+		return resp.Batch, true, nil
+	case wire.StatusCASMismatch:
+		return resp.Batch, false, nil
+	default:
+		return nil, false, statusErr(&resp.Result)
+	}
+}
+
+// Stats fetches and decodes the server's STATS document.
+func (cl *Client) Stats() (*wire.StatsReply, error) {
+	resp, err := cl.call(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result.Status != wire.StatusOK {
+		return nil, statusErr(&resp.Result)
+	}
+	var reply wire.StatsReply
+	if err := json.Unmarshal(resp.Result.Val, &reply); err != nil {
+		return nil, fmt.Errorf("client: bad stats payload: %w", err)
+	}
+	return &reply, nil
+}

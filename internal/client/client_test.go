@@ -1,0 +1,104 @@
+package client
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"wtftm/internal/server"
+)
+
+// TestReconnectAfterRestart kills the server under a live client, restarts
+// it on the same address, and checks the client transparently redials: calls
+// in flight on the dead connection fail, later calls succeed again.
+func TestReconnectAfterRestart(t *testing.T) {
+	s1 := server.New(server.Config{Shards: 2})
+	if err := s1.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	addr := s1.Addr().String()
+
+	cl := New(Options{Addr: addr, Conns: 1})
+	defer cl.Close()
+	if err := cl.Put("k", "before"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	s1.Drain()
+
+	// The pooled connection is dead: the first call surfaces the transport
+	// error (or, if the failure is detected lazily, a redial error since
+	// nothing listens yet).
+	if err := cl.Ping(); err == nil {
+		t.Fatal("Ping succeeded against a stopped server")
+	}
+
+	// Restart on the same port (Go listeners set SO_REUSEADDR).
+	s2 := server.New(server.Config{Shards: 2})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	s2.Serve(ln)
+	defer s2.Drain()
+
+	// The client recovers without any explicit reset. Allow a few retries
+	// in case the OS delays the rebind.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := cl.Put("k", "after")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client did not reconnect: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// s2 has a fresh store; the new write is there.
+	if v, ok, err := cl.Get("k"); err != nil || !ok || v != "after" {
+		t.Fatalf("Get after reconnect = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+// TestCallsOnClosedClient checks Close is terminal and safe.
+func TestCallsOnClosedClient(t *testing.T) {
+	s := server.New(server.Config{Shards: 2})
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	cl := New(Options{Addr: s.Addr().String(), Conns: 2})
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	cl.Close() // idempotent
+	if err := cl.Ping(); err != ErrClosed {
+		t.Fatalf("Ping on closed client = %v, want ErrClosed", err)
+	}
+}
+
+// TestPoolSpreadsConnections checks Conns > 1 actually opens that many
+// server-side connections under concurrent use.
+func TestPoolSpreadsConnections(t *testing.T) {
+	s := server.New(server.Config{Shards: 2})
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	cl := New(Options{Addr: s.Addr().String(), Conns: 3})
+	defer cl.Close()
+	for i := 0; i < 6; i++ { // round-robin touches every slot
+		if err := cl.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.ConnsOpened != 3 {
+		t.Fatalf("server saw %d connections, want 3", st.Server.ConnsOpened)
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"wtftm/internal/client"
+	"wtftm/internal/wire"
+)
+
+// TestDrain exercises graceful shutdown: while a MULTI is held in flight
+// (via execHook), Drain must refuse new connections yet let the in-flight
+// transaction commit and its response reach the client.
+func TestDrain(t *testing.T) {
+	leakCheck(t)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s := New(Config{
+		Shards: 4,
+		execHook: func(req *wire.Request) {
+			if req.Op == wire.OpMulti {
+				close(entered)
+				<-release
+			}
+		},
+	})
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	addr := s.Addr().String()
+
+	cl := client.New(client.Options{Addr: addr, Conns: 1})
+	defer cl.Close()
+	if err := cl.Put("x", "seed"); err != nil {
+		t.Fatal(err)
+	}
+
+	type multiOut struct {
+		results []wire.Result
+		applied bool
+		err     error
+	}
+	done := make(chan multiOut, 1)
+	go func() {
+		results, applied, err := cl.Multi([]wire.Cmd{
+			wire.Get("x"),
+			wire.Put("y", []byte("written-during-drain")),
+		})
+		done <- multiOut{results, applied, err}
+	}()
+	<-entered // MULTI is in a worker, pre-transaction
+
+	drained := make(chan struct{})
+	go func() {
+		s.Drain()
+		close(drained)
+	}()
+
+	// Drain must be blocked on the in-flight request. Give it time to close
+	// the listener, then verify new connections are refused while the MULTI
+	// is still held.
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a request was in flight")
+	case <-time.After(100 * time.Millisecond):
+	}
+	if nc, err := net.Dial("tcp", addr); err == nil {
+		// Accept may race the listener close; a successful dial must at
+		// least be closed/unanswered by the server.
+		nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 1)
+		if _, rerr := nc.Read(buf); rerr == nil {
+			t.Fatal("draining server served a new connection")
+		}
+		nc.Close()
+	}
+
+	close(release)
+
+	// The in-flight MULTI commits and its response is delivered.
+	select {
+	case out := <-done:
+		if out.err != nil || !out.applied {
+			t.Fatalf("in-flight MULTI: applied=%v err=%v", out.applied, out.err)
+		}
+		if len(out.results) != 2 || string(out.results[0].Val) != "seed" {
+			t.Fatalf("in-flight MULTI results: %+v", out.results)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight MULTI response never arrived")
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not complete after the in-flight request finished")
+	}
+
+	// The write committed before shutdown: visible on a fresh server sharing
+	// nothing is impossible here, so just assert post-conditions on state we
+	// can reach — the engine counted the commit.
+	if s.System().Stats().Snapshot().TopCommits < 2 {
+		t.Fatalf("engine commits = %d, want >= 2", s.System().Stats().Snapshot().TopCommits)
+	}
+
+	// Further client calls fail (connection was closed by drain) and new
+	// dials are refused.
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Fatal("dial succeeded after Drain returned")
+	}
+	if err := s.Listen("127.0.0.1:0"); err != ErrClosed {
+		t.Fatalf("Listen after Drain = %v, want ErrClosed", err)
+	}
+}
+
+// TestDrainIdle checks Drain on a server with idle connections returns
+// promptly (read loops parked in ReadFrame are unblocked by the read
+// deadline) and releases all goroutines.
+func TestDrainIdle(t *testing.T) {
+	leakCheck(t)
+	s := New(Config{Shards: 2})
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(client.Options{Addr: s.Addr().String(), Conns: 3})
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	s.Drain()
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("idle drain took %v", d)
+	}
+	s.Drain() // idempotent
+}

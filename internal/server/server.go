@@ -1,0 +1,531 @@
+// Package server implements wtfd, a sharded transactional key-value store
+// daemon that serves the WTF-TM futures engine over TCP.
+//
+// Every request executes as one top-level transaction (System.Atomic) and a
+// MULTI request — a batch of GET/PUT/DEL/CAS commands — fans its per-shard
+// command groups out as transactional futures inside that transaction: the
+// paper's motivating shape, where a request's independent key lookups run in
+// parallel yet commit atomically. The server's -ordering knob selects WO or
+// SO future semantics per instance, turning the paper's semantics axis into
+// an operator-visible performance knob (wtfbench -exp server measures it).
+//
+// Concurrency model: one read loop and one write loop per connection, plus a
+// bounded shared worker pool. The read loop decodes frames and enqueues
+// them on the pool's bounded queue — when the queue is full the read loop
+// blocks, which stalls that connection's TCP window and pushes backpressure
+// to the client (admission control without load shedding). Responses carry
+// the request's ID, so pipelined requests of one connection may be answered
+// out of order as their transactions commit.
+//
+// Shutdown is graceful by default: Drain refuses new connections, stops
+// reading new requests, completes every in-flight transaction, flushes the
+// responses, and only then closes connections.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wtftm"
+	"wtftm/internal/wire"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Ordering selects the futures semantics MULTI fan-outs run under
+	// (default WO; SO gives the JTF baseline's strongly ordered serving).
+	Ordering wtftm.Ordering
+	// Atomicity selects the escaping-future semantics (default LAC; the
+	// server evaluates every future it submits, so this only matters for
+	// engine bookkeeping).
+	Atomicity wtftm.Atomicity
+	// Shards is the number of store partitions (and the MULTI fan-out
+	// width); default 16.
+	Shards int
+	// Buckets is the per-shard hash-map bucket count; default 64.
+	Buckets int
+	// Workers bounds concurrently executing requests; default
+	// 4×GOMAXPROCS.
+	Workers int
+	// Queue bounds the admitted-but-not-executing request backlog; when it
+	// is full connection read loops block (TCP backpressure). Default
+	// 4×Workers.
+	Queue int
+	// WriteTimeout bounds one response frame write; a connection whose
+	// client stops reading is closed rather than allowed to wedge a worker.
+	// Default 30s.
+	WriteTimeout time.Duration
+
+	// execHook, when non-nil, runs at the start of every request execution.
+	// Tests use it to hold requests in flight while exercising Drain.
+	execHook func(*wire.Request)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Shards <= 0 {
+		out.Shards = 16
+	}
+	if out.Buckets <= 0 {
+		out.Buckets = 64
+	}
+	if out.Workers <= 0 {
+		out.Workers = 4 * runtime.GOMAXPROCS(0)
+	}
+	if out.Queue <= 0 {
+		out.Queue = 4 * out.Workers
+	}
+	if out.WriteTimeout <= 0 {
+		out.WriteTimeout = 30 * time.Second
+	}
+	return out
+}
+
+// errCASMismatch aborts a MULTI transaction whose batch contained a failed
+// CAS: System.Atomic discards every write of the attempt, which is exactly
+// the all-or-nothing batch rule the protocol documents.
+var errCASMismatch = errors.New("server: MULTI contained a failed CAS")
+
+// ErrClosed is returned by Listen on a server that was already shut down.
+var ErrClosed = errors.New("server: closed")
+
+// Server is one wtfd instance.
+type Server struct {
+	cfg   Config
+	stm   *wtftm.STM
+	sys   *wtftm.System
+	store *store
+
+	ln   net.Listener
+	work chan task
+	quit chan struct{} // closed by Drain: stop admitting requests
+
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	started  bool
+	draining atomic.Bool
+
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+	workerWG sync.WaitGroup
+
+	connsOpened   atomic.Int64
+	connsActive   atomic.Int64
+	requests      atomic.Int64
+	keysServed    atomic.Int64
+	multiBatches  atomic.Int64
+	futureFanouts atomic.Int64
+	badFrames     atomic.Int64
+}
+
+type task struct {
+	c   *conn
+	req wire.Request
+}
+
+// conn is one accepted connection: a read loop (runs serveConn), a write
+// loop, and a count of requests admitted but not yet answered.
+type conn struct {
+	srv     *Server
+	nc      net.Conn
+	out     chan *wire.Response
+	pending sync.WaitGroup
+	wfail   atomic.Bool // write failed; further responses are dropped
+}
+
+// New creates a server over a fresh STM and futures engine.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	stm := wtftm.NewSTM()
+	sys := wtftm.NewSystem(stm, wtftm.Options{Ordering: cfg.Ordering, Atomicity: cfg.Atomicity})
+	return &Server{
+		cfg:   cfg,
+		stm:   stm,
+		sys:   sys,
+		store: newStore(stm, cfg.Shards, cfg.Buckets),
+		work:  make(chan task, cfg.Queue),
+		quit:  make(chan struct{}),
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+// System exposes the underlying futures engine (stats, options).
+func (s *Server) System() *wtftm.System { return s.sys }
+
+// STM exposes the underlying MV-STM instance.
+func (s *Server) STM() *wtftm.STM { return s.stm }
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts serving. It returns
+// once the listener is accepting; use Addr to discover the bound address.
+func (s *Server) Listen(addr string) error {
+	if s.draining.Load() {
+		return ErrClosed
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.Serve(ln)
+	return nil
+}
+
+// Serve starts serving on an existing listener (ownership transfers to the
+// server; Drain closes it).
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	if !s.started {
+		s.started = true
+		for i := 0; i < s.cfg.Workers; i++ {
+			s.workerWG.Add(1)
+			go s.worker()
+		}
+	}
+	s.mu.Unlock()
+	s.acceptWG.Add(1)
+	go s.acceptLoop(ln)
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.acceptWG.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed (Drain) or fatal
+		}
+		c := &conn{srv: s, nc: nc, out: make(chan *wire.Response, 64)}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connsOpened.Add(1)
+		s.connsActive.Add(1)
+		s.connWG.Add(2)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// readLoop decodes frames and admits requests to the worker pool. A
+// malformed frame closes only this connection (after counting it); a full
+// admission queue blocks, exerting backpressure through TCP.
+func (c *conn) readLoop() {
+	s := c.srv
+	defer func() {
+		// In-flight requests of this connection still complete and their
+		// responses still flush: the write loop exits only after pending
+		// drained and out closed.
+		c.pending.Wait()
+		close(c.out)
+		s.connWG.Done()
+	}()
+	br := bufio.NewReader(c.nc)
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			// EOF and deadline-induced errors are normal disconnect/drain;
+			// protocol violations are counted.
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				s.badFrames.Add(1)
+			}
+			return
+		}
+		buf = payload[:0] // reuse the backing array for the next frame
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			// The stream is unparseable past this point (framing may be
+			// fine but we cannot trust it): answer if the ID header was
+			// readable, then close.
+			s.badFrames.Add(1)
+			c.send(&wire.Response{ID: req.ID, Op: req.Op, Result: wire.ErrResult(err.Error())})
+			return
+		}
+		if s.draining.Load() {
+			c.send(&wire.Response{ID: req.ID, Op: req.Op, Result: wire.Result{Status: wire.StatusUnavailable}})
+			return
+		}
+		c.pending.Add(1)
+		select {
+		case s.work <- task{c: c, req: req}:
+		case <-s.quit:
+			c.pending.Done()
+			c.send(&wire.Response{ID: req.ID, Op: req.Op, Result: wire.Result{Status: wire.StatusUnavailable}})
+			return
+		}
+	}
+}
+
+// send enqueues a response for the write loop. It blocks only while the
+// write loop is alive and healthy; after a write failure responses are
+// dropped (the client is gone).
+func (c *conn) send(resp *wire.Response) {
+	if c.wfail.Load() {
+		return
+	}
+	c.out <- resp
+}
+
+func (c *conn) writeLoop() {
+	s := c.srv
+	defer func() {
+		c.nc.Close()
+		s.connsActive.Add(-1)
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.connWG.Done()
+	}()
+	bw := bufio.NewWriter(c.nc)
+	var scratch []byte
+	for resp := range c.out {
+		if c.wfail.Load() {
+			continue // drain without writing; workers must never block here
+		}
+		payload, err := wire.AppendResponse(scratch[:0], resp)
+		if err != nil {
+			payload, _ = wire.AppendResponse(scratch[:0], &wire.Response{
+				ID: resp.ID, Op: resp.Op, Result: wire.ErrResult("server: response encoding failed"),
+			})
+		}
+		scratch = payload
+		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		werr := wire.WriteFrame(bw, payload)
+		if werr == nil && len(c.out) == 0 {
+			werr = bw.Flush() // flush only when no more responses are queued
+		}
+		if werr != nil {
+			c.wfail.Store(true)
+			c.nc.Close() // unblock the read loop too
+		}
+	}
+	if !c.wfail.Load() {
+		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		bw.Flush()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for t := range s.work {
+		resp := s.execute(&t.req)
+		t.c.send(resp)
+		t.c.pending.Done()
+	}
+}
+
+// execute runs one request as one top-level transaction and builds its
+// response. The response values are either immutable committed strings read
+// at the transaction's snapshot or freshly built server-side buffers, so
+// handing them to the write loop after commit requires no further
+// synchronization (privatization safety; DESIGN.md §7).
+func (s *Server) execute(req *wire.Request) *wire.Response {
+	if s.cfg.execHook != nil {
+		s.cfg.execHook(req)
+	}
+	s.requests.Add(1)
+	resp := &wire.Response{ID: req.ID, Op: req.Op}
+	switch req.Op {
+	case wire.OpPing:
+		resp.Result = wire.OKResult()
+	case wire.OpStats:
+		b, err := json.Marshal(s.statsReply())
+		if err != nil {
+			resp.Result = wire.ErrResult(err.Error())
+		} else {
+			resp.Result = wire.ValResult(b)
+		}
+	case wire.OpGet, wire.OpPut, wire.OpDel, wire.OpCAS:
+		s.keysServed.Add(1)
+		var res wire.Result
+		err := s.sys.Atomic(func(tx *wtftm.Tx) error {
+			res = s.store.apply(tx, &req.Cmd)
+			return nil
+		})
+		if err != nil {
+			res = wire.ErrResult(err.Error())
+		}
+		resp.Result = res
+	case wire.OpMulti:
+		s.executeMulti(req, resp)
+	default:
+		resp.Result = wire.ErrResult(fmt.Sprintf("server: unsupported op %v", req.Op))
+	}
+	return resp
+}
+
+// executeMulti runs a batch atomically, fanning per-shard command groups
+// out as transactional futures. The continuation (which submits the futures
+// and evaluates them in submission order) touches no boxes itself, so under
+// WO the futures overwhelmingly serialize at their submission points; under
+// SO each future additionally waits for its predecessor to settle — the
+// straggler behaviour the server experiment measures.
+func (s *Server) executeMulti(req *wire.Request, resp *wire.Response) {
+	n := len(req.Batch)
+	s.multiBatches.Add(1)
+	s.keysServed.Add(int64(n))
+	if n == 0 {
+		resp.Result = wire.OKResult()
+		return
+	}
+
+	// Group command indices by target shard, preserving batch order within
+	// each group (same key ⇒ same shard, so per-key order is preserved).
+	groups := make(map[int][]int, s.cfg.Shards)
+	order := make([]int, 0, s.cfg.Shards)
+	for i := range req.Batch {
+		sh := s.store.shardOf(req.Batch[i].Key)
+		if _, ok := groups[sh]; !ok {
+			order = append(order, sh)
+		}
+		groups[sh] = append(groups[sh], i)
+	}
+
+	var results []wire.Result
+	err := s.sys.Atomic(func(tx *wtftm.Tx) error {
+		// Fresh per-attempt buffer: an aborted attempt's future goroutines
+		// may still be finishing their last store.apply when the retry
+		// starts, and they must not scribble on the new attempt's results.
+		attempt := make([]wire.Result, n)
+		if len(order) == 1 {
+			for _, i := range groups[order[0]] {
+				attempt[i] = s.store.apply(tx, &req.Batch[i])
+			}
+		} else {
+			s.futureFanouts.Add(int64(len(order)))
+			futs := make([]*wtftm.Future, 0, len(order))
+			for _, sh := range order {
+				idxs := groups[sh]
+				futs = append(futs, tx.Submit(func(ftx *wtftm.Tx) (any, error) {
+					for _, i := range idxs {
+						attempt[i] = s.store.apply(ftx, &req.Batch[i])
+					}
+					return nil, nil
+				}))
+			}
+			for _, f := range futs {
+				if _, err := tx.Evaluate(f); err != nil {
+					return err
+				}
+			}
+		}
+		results = attempt
+		for i := range attempt {
+			if attempt[i].Status == wire.StatusCASMismatch {
+				// Abort the whole batch: no write of this attempt commits.
+				// The reads in attempt are still a consistent snapshot, so
+				// the per-command results remain meaningful to the client.
+				return errCASMismatch
+			}
+		}
+		return nil
+	})
+	switch {
+	case err == nil:
+		resp.Result = wire.OKResult()
+	case errors.Is(err, errCASMismatch):
+		resp.Result = wire.Result{Status: wire.StatusCASMismatch}
+	default:
+		resp.Result = wire.ErrResult(err.Error())
+	}
+	resp.Batch = results
+}
+
+// statsReply assembles the STATS document from the server counters plus the
+// engine and substrate snapshots. Both snapshots come through the wtftm
+// facade — external callers can consume the same numbers without importing
+// any internal package.
+func (s *Server) statsReply() wire.StatsReply {
+	var (
+		e wtftm.StatsSnapshot    = s.sys.Stats().Snapshot()
+		m wtftm.STMStatsSnapshot = s.stm.Stats().Snapshot()
+	)
+	return wire.StatsReply{
+		Server: wire.ServerStats{
+			Ordering:      s.sys.Options().Ordering.String(),
+			Atomicity:     s.sys.Options().Atomicity.String(),
+			Shards:        s.cfg.Shards,
+			Workers:       s.cfg.Workers,
+			ConnsOpened:   s.connsOpened.Load(),
+			ConnsActive:   s.connsActive.Load(),
+			Requests:      s.requests.Load(),
+			KeysServed:    s.keysServed.Load(),
+			MultiBatches:  s.multiBatches.Load(),
+			FutureFanouts: s.futureFanouts.Load(),
+			BadFrames:     s.badFrames.Load(),
+			Draining:      s.draining.Load(),
+		},
+		Engine: wire.EngineStats{
+			TopCommits:          e.TopCommits,
+			TopConflict:         e.TopConflict,
+			TopInternal:         e.TopInternal,
+			FuturesSubmitted:    e.FuturesSubmitted,
+			MergedAtSubmission:  e.MergedAtSubmission,
+			MergedAtEvaluation:  e.MergedAtEvaluation,
+			FutureReexecutions:  e.FutureReexecutions,
+			ImplicitEvaluations: e.ImplicitEvaluations,
+			EscapedFutures:      e.EscapedFutures,
+			EscapeReexecs:       e.EscapeReexecs,
+			SegmentRollbacks:    e.SegmentRollbacks,
+		},
+		STM: wire.STMStats{
+			Commits:         m.Commits,
+			ReadOnlyCommits: m.ReadOnlyCommits,
+			Conflicts:       m.Conflicts,
+			Begins:          m.Begins,
+			HelpedCommits:   m.HelpedCommits,
+			CommitQueueHWM:  m.CommitQueueHWM,
+		},
+	}
+}
+
+// Drain shuts the server down gracefully: refuse new connections, stop
+// reading new requests, let every in-flight transaction commit and its
+// response flush, then close all connections and stop the workers. It is
+// idempotent and returns once the server is fully quiescent (no goroutines
+// left).
+func (s *Server) Drain() {
+	if !s.draining.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close() // new connections now fail at dial/accept
+	}
+	// Unblock read loops parked in ReadFrame on idle connections; loops
+	// with a request mid-execution finish it first (pending.Wait).
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	close(s.quit)
+	s.acceptWG.Wait()
+	s.connWG.Wait()
+	close(s.work)
+	s.workerWG.Wait()
+}
+
+// Close is Drain; the graceful path is cheap enough that an abrupt variant
+// is not worth a second shutdown state machine.
+func (s *Server) Close() { s.Drain() }

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"wtftm"
+	"wtftm/internal/tstruct"
+	"wtftm/internal/wire"
+)
+
+// store is wtfd's keyspace: a fixed set of shard-partitioned transactional
+// maps over versioned boxes. Keys hash to one shard; a MULTI batch touching
+// k shards fans out as k transactional futures, one per shard, so the
+// per-shard work runs in parallel inside one atomic request.
+//
+// Values are stored as Go strings (immutable), so a committed value handed
+// to a response writer can never be mutated by a later transaction — new
+// values install new versions instead. Together with the MV-STM's snapshot
+// reads this makes the post-commit hand-off privatization-safe (DESIGN.md
+// §7).
+type store struct {
+	shards []*tstruct.Map
+}
+
+func newStore(stm *wtftm.STM, shards, buckets int) *store {
+	st := &store{shards: make([]*tstruct.Map, shards)}
+	for i := range st.shards {
+		st.shards[i] = tstruct.NewMap(stm, buckets)
+	}
+	return st
+}
+
+// shardOf maps a key to its shard (FNV-1a; stable across restarts so logs
+// and traces stay comparable).
+func (st *store) shardOf(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(st.shards)))
+}
+
+// apply executes one command against the store through rw (a plain MV-STM
+// transaction or a futures-engine Tx — both work, which is what lets single
+// ops run inline and MULTI groups run inside future bodies).
+//
+// CAS never writes on a mismatch, so a mismatched command contributes no
+// write to its transaction: the all-or-nothing MULTI rule only needs the
+// caller to abort the transaction when any result is StatusCASMismatch.
+func (st *store) apply(rw wtftm.ReadWriter, c *wire.Cmd) wire.Result {
+	m := st.shards[st.shardOf(c.Key)]
+	switch c.Op {
+	case wire.OpGet:
+		v, ok := m.Get(rw, c.Key)
+		if !ok {
+			return wire.Result{Status: wire.StatusNotFound}
+		}
+		return wire.ValResult([]byte(v.(string)))
+	case wire.OpPut:
+		m.Put(rw, c.Key, string(c.Val))
+		return wire.OKResult()
+	case wire.OpDel:
+		if !m.Delete(rw, c.Key) {
+			return wire.Result{Status: wire.StatusNotFound}
+		}
+		return wire.OKResult()
+	case wire.OpCAS:
+		cur, ok := m.Get(rw, c.Key)
+		if c.ExpectPresent != ok || (ok && cur.(string) != string(c.Expect)) {
+			res := wire.Result{Status: wire.StatusCASMismatch}
+			if ok {
+				res.Val, res.HasVal = []byte(cur.(string)), true
+			}
+			return res
+		}
+		m.Put(rw, c.Key, string(c.Val))
+		return wire.OKResult()
+	default:
+		return wire.ErrResult(fmt.Sprintf("server: %v is not a store command", c.Op))
+	}
+}

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame feeds arbitrary byte strings through the frame reader and
+// both payload decoders. The protocol promise under test: malformed,
+// truncated or oversized input must produce an error — never a panic — and
+// must never drive an allocation past the declared, limit-checked lengths
+// (the MULTI capacity hint is additionally bounded by the remaining payload
+// size). Anything that decodes must re-encode and decode to the same value.
+func FuzzDecodeFrame(f *testing.F) {
+	seed := [][]byte{
+		{},
+		{0, 0, 0, 0},
+		{0xFF, 0xFF, 0xFF, 0xFF},
+		{0, 0, 0, 1, byte(OpPing)},
+	}
+	for _, req := range []Request{
+		{ID: 7, Op: OpGet, Cmd: Get("key")},
+		{ID: 8, Op: OpPut, Cmd: Put("key", []byte("val"))},
+		{ID: 9, Op: OpCAS, Cmd: CAS("key", []byte("old"), []byte("new"))},
+		{ID: 10, Op: OpMulti, Batch: []Cmd{Get("a"), Put("b", []byte("c")), CAS("d", nil, []byte("e"))}},
+		{ID: 11, Op: OpStats},
+	} {
+		payload, err := AppendRequest(nil, &req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			f.Fatal(err)
+		}
+		seed = append(seed, buf.Bytes())
+	}
+	for _, resp := range []Response{
+		{ID: 1, Op: OpGet, Result: ValResult([]byte("v"))},
+		{ID: 2, Op: OpMulti, Result: OKResult(), Batch: []Result{OKResult(), {Status: StatusNotFound}}},
+	} {
+		payload, err := AppendResponse(nil, &resp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			f.Fatal(err)
+		}
+		seed = append(seed, buf.Bytes())
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(data)), nil)
+		if err != nil {
+			return // framing rejected it; that is a valid outcome
+		}
+		if req, err := DecodeRequest(payload); err == nil {
+			re, err := AppendRequest(nil, &req)
+			if err != nil {
+				t.Fatalf("decoded request does not re-encode: %+v: %v", req, err)
+			}
+			back, err := DecodeRequest(re)
+			if err != nil {
+				t.Fatalf("re-encoded request does not decode: %x: %v", re, err)
+			}
+			if back.ID != req.ID || back.Op != req.Op || len(back.Batch) != len(req.Batch) {
+				t.Fatalf("request round trip mismatch: %+v vs %+v", req, back)
+			}
+		}
+		if resp, err := DecodeResponse(payload); err == nil {
+			re, err := AppendResponse(nil, &resp)
+			if err != nil {
+				t.Fatalf("decoded response does not re-encode: %+v: %v", resp, err)
+			}
+			if _, err := DecodeResponse(re); err != nil {
+				t.Fatalf("re-encoded response does not decode: %x: %v", re, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,636 @@
+// Package wire defines the wtfd client/server protocol: compact
+// length-prefixed binary frames carrying key-value operations. One frame is
+// one request or one response; a connection carries any number of frames in
+// each direction and requests are tagged with a caller-chosen ID so that
+// responses can be matched out of order (request pipelining: a client may
+// have many requests in flight on one connection, and the server answers
+// each as soon as its transaction commits).
+//
+// Frame layout (all integers big-endian, lengths as uvarints):
+//
+//	uint32  payload length (≤ MaxFrame)
+//	payload:
+//	  uint32  request ID (echoed verbatim in the response)
+//	  byte    opcode
+//	  ...     op-specific body
+//
+// Request bodies:
+//
+//	GET, DEL    key
+//	PUT         key value
+//	CAS         key presentFlag [expect] value   (presentFlag 0 ⇒ expect-absent)
+//	MULTI       uvarint n, then n sub-commands (opcode byte + body; GET/PUT/DEL/CAS only)
+//	STATS, PING (empty)
+//
+// Response bodies are a single result — byte status, byte hasVal,
+// [value] — except MULTI, whose overall result is followed by uvarint n
+// per-command results. A MULTI is all-or-nothing: if any CAS in the batch
+// fails, no write of the batch is applied and the overall status is
+// StatusCASMismatch (the per-command results still report which commands
+// matched; reads report the consistent snapshot the batch executed against).
+//
+// The decoder is total: any byte string either decodes or returns an error.
+// It never panics and never allocates more than the declared (and
+// limit-checked) lengths, so it is safe to expose to untrusted peers; see
+// FuzzDecodeFrame.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Limits. Frames, keys and values above these sizes are protocol errors:
+// the decoder rejects them before allocating.
+const (
+	// MaxFrame is the maximum payload length of one frame.
+	MaxFrame = 1 << 20
+	// MaxKeyLen is the maximum key length in bytes.
+	MaxKeyLen = 1 << 10
+	// MaxValLen is the maximum value length in bytes.
+	MaxValLen = 1 << 16
+	// MaxMultiOps is the maximum number of sub-commands in one MULTI.
+	MaxMultiOps = 1 << 12
+)
+
+// Op is a request opcode.
+type Op byte
+
+// Opcodes. OpGet..OpCAS are also valid MULTI sub-commands.
+const (
+	OpGet Op = iota + 1
+	OpPut
+	OpDel
+	OpCAS
+	OpMulti
+	OpStats
+	OpPing
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDel:
+		return "DEL"
+	case OpCAS:
+		return "CAS"
+	case OpMulti:
+		return "MULTI"
+	case OpStats:
+		return "STATS"
+	case OpPing:
+		return "PING"
+	}
+	return fmt.Sprintf("Op(%d)", byte(o))
+}
+
+// Status is a per-result status code.
+type Status byte
+
+const (
+	// StatusOK: the operation applied (or the read succeeded).
+	StatusOK Status = iota
+	// StatusNotFound: GET/DEL of an absent key.
+	StatusNotFound
+	// StatusCASMismatch: the current value did not match the expectation;
+	// for a CAS result the value carries the current value when present.
+	StatusCASMismatch
+	// StatusErr: server-side failure; the value carries a message.
+	StatusErr
+	// StatusUnavailable: the server is draining and refused the request.
+	StatusUnavailable
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusCASMismatch:
+		return "CAS_MISMATCH"
+	case StatusErr:
+		return "ERR"
+	case StatusUnavailable:
+		return "UNAVAILABLE"
+	}
+	return fmt.Sprintf("Status(%d)", byte(s))
+}
+
+// Cmd is one key-value command: a whole single-op request, or one
+// sub-command of a MULTI.
+type Cmd struct {
+	Op  Op
+	Key string
+	// Val is the new value (PUT, CAS).
+	Val []byte
+	// Expect is the expected current value for CAS; meaningful only when
+	// ExpectPresent. ExpectPresent == false means "expect the key absent"
+	// (create-if-missing CAS).
+	Expect        []byte
+	ExpectPresent bool
+}
+
+// Get, Put, Del and CAS build sub-commands.
+func Get(key string) Cmd             { return Cmd{Op: OpGet, Key: key} }
+func Put(key string, val []byte) Cmd { return Cmd{Op: OpPut, Key: key, Val: val} }
+func Del(key string) Cmd             { return Cmd{Op: OpDel, Key: key} }
+
+// CAS builds a compare-and-set sub-command; a nil expect means "expect the
+// key absent".
+func CAS(key string, expect, val []byte) Cmd {
+	return Cmd{Op: OpCAS, Key: key, Val: val, Expect: expect, ExpectPresent: expect != nil}
+}
+
+// Request is one decoded request frame.
+type Request struct {
+	ID uint32
+	Op Op
+	// Cmd is the command of a single-op request (Op GET/PUT/DEL/CAS).
+	Cmd Cmd
+	// Batch holds the sub-commands of a MULTI.
+	Batch []Cmd
+}
+
+// Result is the outcome of one command.
+type Result struct {
+	Status Status
+	// Val is the result value (GET hit, CAS-mismatch current value, STATS
+	// payload, ERR message). HasVal distinguishes "empty value" from "no
+	// value".
+	Val    []byte
+	HasVal bool
+}
+
+// OKResult is a bare success result.
+func OKResult() Result { return Result{Status: StatusOK} }
+
+// ValResult is a success carrying a value.
+func ValResult(val []byte) Result { return Result{Status: StatusOK, Val: val, HasVal: true} }
+
+// ErrResult is a StatusErr carrying a message.
+func ErrResult(msg string) Result {
+	return Result{Status: StatusErr, Val: []byte(msg), HasVal: true}
+}
+
+// Response is one decoded response frame.
+type Response struct {
+	ID uint32
+	Op Op // echo of the request opcode
+	// Result is the overall outcome. For MULTI it summarizes the batch
+	// (StatusOK: all applied; StatusCASMismatch: nothing applied).
+	Result Result
+	// Batch holds per-command results of a MULTI, aligned with the request.
+	Batch []Result
+}
+
+// Err reports a decoded protocol violation.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrTruncated     = errors.New("wire: truncated frame")
+	ErrLimit         = errors.New("wire: length limit exceeded")
+	ErrBadOp         = errors.New("wire: unknown opcode")
+)
+
+// --- framing ---------------------------------------------------------------
+
+// WriteFrame writes payload as one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame's payload, reusing buf when it is large enough.
+// The length prefix is validated against MaxFrame before any allocation, so
+// a hostile peer cannot make the reader over-allocate.
+func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// --- encoding --------------------------------------------------------------
+
+func appendUvarint(dst []byte, n uint64) []byte {
+	return binary.AppendUvarint(dst, n)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendCmdBody(dst []byte, c *Cmd) ([]byte, error) {
+	if len(c.Key) > MaxKeyLen {
+		return nil, fmt.Errorf("%w: key %d > %d", ErrLimit, len(c.Key), MaxKeyLen)
+	}
+	switch c.Op {
+	case OpGet, OpDel:
+		return appendString(dst, c.Key), nil
+	case OpPut:
+		if len(c.Val) > MaxValLen {
+			return nil, fmt.Errorf("%w: value %d > %d", ErrLimit, len(c.Val), MaxValLen)
+		}
+		dst = appendString(dst, c.Key)
+		return appendBytes(dst, c.Val), nil
+	case OpCAS:
+		if len(c.Val) > MaxValLen || len(c.Expect) > MaxValLen {
+			return nil, fmt.Errorf("%w: value > %d", ErrLimit, MaxValLen)
+		}
+		dst = appendString(dst, c.Key)
+		if c.ExpectPresent {
+			dst = append(dst, 1)
+			dst = appendBytes(dst, c.Expect)
+		} else {
+			dst = append(dst, 0)
+		}
+		return appendBytes(dst, c.Val), nil
+	default:
+		return nil, fmt.Errorf("%w: %v in command position", ErrBadOp, c.Op)
+	}
+}
+
+// AppendRequest appends req's payload encoding to dst.
+func AppendRequest(dst []byte, req *Request) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint32(dst, req.ID)
+	dst = append(dst, byte(req.Op))
+	switch req.Op {
+	case OpGet, OpPut, OpDel, OpCAS:
+		return appendCmdBody(dst, &req.Cmd)
+	case OpMulti:
+		if len(req.Batch) > MaxMultiOps {
+			return nil, fmt.Errorf("%w: %d sub-commands > %d", ErrLimit, len(req.Batch), MaxMultiOps)
+		}
+		dst = appendUvarint(dst, uint64(len(req.Batch)))
+		for i := range req.Batch {
+			c := &req.Batch[i]
+			switch c.Op {
+			case OpGet, OpPut, OpDel, OpCAS:
+			default:
+				return nil, fmt.Errorf("%w: %v inside MULTI", ErrBadOp, c.Op)
+			}
+			dst = append(dst, byte(c.Op))
+			var err error
+			if dst, err = appendCmdBody(dst, c); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case OpStats, OpPing:
+		return dst, nil
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrBadOp, req.Op)
+	}
+}
+
+func appendResult(dst []byte, r *Result) []byte {
+	dst = append(dst, byte(r.Status))
+	if r.HasVal {
+		dst = append(dst, 1)
+		dst = appendBytes(dst, r.Val)
+	} else {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// AppendResponse appends resp's payload encoding to dst.
+func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
+	if resp.Result.HasVal && len(resp.Result.Val) > MaxValLen {
+		return nil, fmt.Errorf("%w: value %d > %d", ErrLimit, len(resp.Result.Val), MaxValLen)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, resp.ID)
+	dst = append(dst, byte(resp.Op))
+	dst = appendResult(dst, &resp.Result)
+	if resp.Op == OpMulti {
+		if len(resp.Batch) > MaxMultiOps {
+			return nil, fmt.Errorf("%w: %d results > %d", ErrLimit, len(resp.Batch), MaxMultiOps)
+		}
+		dst = appendUvarint(dst, uint64(len(resp.Batch)))
+		for i := range resp.Batch {
+			if resp.Batch[i].HasVal && len(resp.Batch[i].Val) > MaxValLen {
+				return nil, fmt.Errorf("%w: value %d > %d", ErrLimit, len(resp.Batch[i].Val), MaxValLen)
+			}
+			dst = appendResult(dst, &resp.Batch[i])
+		}
+	}
+	return dst, nil
+}
+
+// --- decoding --------------------------------------------------------------
+
+// reader is a bounds-checked cursor over one payload.
+type reader struct{ b []byte }
+
+func (r *reader) u32() (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if len(r.b) < 1 {
+		return 0, ErrTruncated
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func (r *reader) uvarint(max uint64) (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.b = r.b[n:]
+	if v > max {
+		return 0, fmt.Errorf("%w: %d > %d", ErrLimit, v, max)
+	}
+	return v, nil
+}
+
+// bytes reads a length-prefixed byte string. The length is checked against
+// both the given limit and the remaining payload before slicing, so the
+// declared length can never drive an allocation beyond the frame itself.
+func (r *reader) bytes(max int) ([]byte, error) {
+	n, err := r.uvarint(uint64(max))
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(r.b)) < n {
+		return nil, ErrTruncated
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) done() error {
+	if len(r.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.b))
+	}
+	return nil
+}
+
+func decodeCmdBody(r *reader, op Op) (Cmd, error) {
+	c := Cmd{Op: op}
+	key, err := r.bytes(MaxKeyLen)
+	if err != nil {
+		return c, err
+	}
+	c.Key = string(key)
+	switch op {
+	case OpGet, OpDel:
+	case OpPut:
+		v, err := r.bytes(MaxValLen)
+		if err != nil {
+			return c, err
+		}
+		c.Val = cloneBytes(v)
+	case OpCAS:
+		flag, err := r.byte()
+		if err != nil {
+			return c, err
+		}
+		switch flag {
+		case 0:
+		case 1:
+			e, err := r.bytes(MaxValLen)
+			if err != nil {
+				return c, err
+			}
+			c.Expect = cloneBytes(e)
+			c.ExpectPresent = true
+		default:
+			return c, fmt.Errorf("wire: bad CAS expect flag %d", flag)
+		}
+		v, err := r.bytes(MaxValLen)
+		if err != nil {
+			return c, err
+		}
+		c.Val = cloneBytes(v)
+	default:
+		return c, fmt.Errorf("%w: %v in command position", ErrBadOp, op)
+	}
+	return c, nil
+}
+
+// cloneBytes copies a sub-slice of the frame buffer so decoded values stay
+// valid after the buffer is reused for the next frame. nil stays nil (the
+// CAS expect-absent marker); empty stays empty-but-present.
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// DecodeRequest decodes one request payload (a frame body as returned by
+// ReadFrame). It returns an error — never panics — on malformed input.
+func DecodeRequest(payload []byte) (Request, error) {
+	r := reader{b: payload}
+	var req Request
+	id, err := r.u32()
+	if err != nil {
+		return req, err
+	}
+	op, err := r.byte()
+	if err != nil {
+		return req, err
+	}
+	req.ID = id
+	req.Op = Op(op)
+	switch req.Op {
+	case OpGet, OpPut, OpDel, OpCAS:
+		if req.Cmd, err = decodeCmdBody(&r, req.Op); err != nil {
+			return req, err
+		}
+	case OpMulti:
+		n, err := r.uvarint(MaxMultiOps)
+		if err != nil {
+			return req, err
+		}
+		// Cap the pre-allocation by what the remaining bytes could possibly
+		// hold (every sub-command is ≥ 2 bytes): a tiny frame declaring
+		// MaxMultiOps sub-commands must not allocate for all of them.
+		capHint := int(n)
+		if m := len(r.b) / 2; capHint > m {
+			capHint = m
+		}
+		req.Batch = make([]Cmd, 0, capHint)
+		for i := uint64(0); i < n; i++ {
+			sub, err := r.byte()
+			if err != nil {
+				return req, err
+			}
+			c, err := decodeCmdBody(&r, Op(sub))
+			if err != nil {
+				return req, err
+			}
+			req.Batch = append(req.Batch, c)
+		}
+	case OpStats, OpPing:
+	default:
+		return req, fmt.Errorf("%w: %d", ErrBadOp, op)
+	}
+	return req, r.done()
+}
+
+func decodeResult(r *reader) (Result, error) {
+	var res Result
+	st, err := r.byte()
+	if err != nil {
+		return res, err
+	}
+	res.Status = Status(st)
+	flag, err := r.byte()
+	if err != nil {
+		return res, err
+	}
+	switch flag {
+	case 0:
+	case 1:
+		v, err := r.bytes(MaxValLen)
+		if err != nil {
+			return res, err
+		}
+		res.Val = cloneBytes(v)
+		res.HasVal = true
+	default:
+		return res, fmt.Errorf("wire: bad result value flag %d", flag)
+	}
+	return res, nil
+}
+
+// DecodeResponse decodes one response payload. It returns an error — never
+// panics — on malformed input.
+func DecodeResponse(payload []byte) (Response, error) {
+	r := reader{b: payload}
+	var resp Response
+	id, err := r.u32()
+	if err != nil {
+		return resp, err
+	}
+	op, err := r.byte()
+	if err != nil {
+		return resp, err
+	}
+	resp.ID = id
+	resp.Op = Op(op)
+	if resp.Result, err = decodeResult(&r); err != nil {
+		return resp, err
+	}
+	if resp.Op == OpMulti {
+		n, err := r.uvarint(MaxMultiOps)
+		if err != nil {
+			return resp, err
+		}
+		capHint := int(n)
+		if m := len(r.b) / 2; capHint > m {
+			capHint = m
+		}
+		resp.Batch = make([]Result, 0, capHint)
+		for i := uint64(0); i < n; i++ {
+			res, err := decodeResult(&r)
+			if err != nil {
+				return resp, err
+			}
+			resp.Batch = append(resp.Batch, res)
+		}
+	}
+	return resp, r.done()
+}
+
+// --- stats payload ---------------------------------------------------------
+
+// StatsReply is the JSON document carried by a STATS response: the server's
+// own counters plus the engine and MV-STM substrate snapshots (the latter
+// exported through the wtftm facade — HelpedCommits and CommitQueueHWM are
+// the commit-pipeline counters of DESIGN.md §6).
+type StatsReply struct {
+	Server ServerStats `json:"server"`
+	Engine EngineStats `json:"engine"`
+	STM    STMStats    `json:"stm"`
+}
+
+// ServerStats are wtfd's own counters and configuration echo.
+type ServerStats struct {
+	Ordering      string `json:"ordering"`
+	Atomicity     string `json:"atomicity"`
+	Shards        int    `json:"shards"`
+	Workers       int    `json:"workers"`
+	ConnsOpened   int64  `json:"conns_opened"`
+	ConnsActive   int64  `json:"conns_active"`
+	Requests      int64  `json:"requests"`
+	KeysServed    int64  `json:"keys_served"`
+	MultiBatches  int64  `json:"multi_batches"`
+	FutureFanouts int64  `json:"future_fanouts"`
+	BadFrames     int64  `json:"bad_frames"`
+	Draining      bool   `json:"draining"`
+}
+
+// EngineStats mirrors wtftm.StatsSnapshot field-for-field (kept as a plain
+// wire struct so the protocol package has no dependency on the engine).
+type EngineStats struct {
+	TopCommits          int64 `json:"top_commits"`
+	TopConflict         int64 `json:"top_conflict"`
+	TopInternal         int64 `json:"top_internal"`
+	FuturesSubmitted    int64 `json:"futures_submitted"`
+	MergedAtSubmission  int64 `json:"merged_at_submission"`
+	MergedAtEvaluation  int64 `json:"merged_at_evaluation"`
+	FutureReexecutions  int64 `json:"future_reexecutions"`
+	ImplicitEvaluations int64 `json:"implicit_evaluations"`
+	EscapedFutures      int64 `json:"escaped_futures"`
+	EscapeReexecs       int64 `json:"escape_reexecs"`
+	SegmentRollbacks    int64 `json:"segment_rollbacks"`
+}
+
+// STMStats mirrors wtftm.STMStatsSnapshot (the MV-STM substrate counters).
+type STMStats struct {
+	Commits         int64 `json:"commits"`
+	ReadOnlyCommits int64 `json:"readonly_commits"`
+	Conflicts       int64 `json:"conflicts"`
+	Begins          int64 `json:"begins"`
+	HelpedCommits   int64 `json:"helped_commits"`
+	CommitQueueHWM  int64 `json:"commit_queue_hwm"`
+}

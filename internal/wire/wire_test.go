@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func roundTripRequest(t *testing.T, req Request) Request {
+	t.Helper()
+	payload, err := AppendRequest(nil, &req)
+	if err != nil {
+		t.Fatalf("AppendRequest(%+v): %v", req, err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadFrame(bufio.NewReader(&buf), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	dec, err := DecodeRequest(got)
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	return dec
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Op: OpGet, Cmd: Get("k")},
+		{ID: 2, Op: OpPut, Cmd: Put("key", []byte("value"))},
+		{ID: 3, Op: OpPut, Cmd: Put("empty", []byte{})},
+		{ID: 4, Op: OpDel, Cmd: Del("gone")},
+		{ID: 5, Op: OpCAS, Cmd: CAS("k", []byte("old"), []byte("new"))},
+		{ID: 6, Op: OpCAS, Cmd: CAS("k", nil, []byte("created"))},
+		{ID: 7, Op: OpCAS, Cmd: CAS("k", []byte{}, []byte("empty-expect"))},
+		{ID: 8, Op: OpStats},
+		{ID: 9, Op: OpPing},
+		{ID: 10, Op: OpMulti, Batch: []Cmd{
+			Get("a"), Put("b", []byte("1")), Del("c"),
+			CAS("d", []byte("x"), []byte("y")), CAS("e", nil, []byte("z")),
+		}},
+		{ID: 11, Op: OpMulti, Batch: []Cmd{}},
+	}
+	for _, req := range reqs {
+		got := roundTripRequest(t, req)
+		if got.ID != req.ID || got.Op != req.Op {
+			t.Fatalf("round trip header: got %+v, want %+v", got, req)
+		}
+		if !cmdEqual(got.Cmd, req.Cmd) {
+			t.Fatalf("round trip cmd: got %+v, want %+v", got.Cmd, req.Cmd)
+		}
+		if len(got.Batch) != len(req.Batch) {
+			t.Fatalf("round trip batch len: got %d, want %d", len(got.Batch), len(req.Batch))
+		}
+		for i := range got.Batch {
+			if !cmdEqual(got.Batch[i], req.Batch[i]) {
+				t.Fatalf("round trip batch[%d]: got %+v, want %+v", i, got.Batch[i], req.Batch[i])
+			}
+		}
+	}
+}
+
+// cmdEqual compares commands, treating nil and empty byte slices as equal
+// except for the CAS expect-absent marker, which is carried by ExpectPresent.
+func cmdEqual(a, b Cmd) bool {
+	return a.Op == b.Op && a.Key == b.Key &&
+		bytes.Equal(a.Val, b.Val) && bytes.Equal(a.Expect, b.Expect) &&
+		a.ExpectPresent == b.ExpectPresent
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{ID: 1, Op: OpGet, Result: ValResult([]byte("v"))},
+		{ID: 2, Op: OpGet, Result: Result{Status: StatusNotFound}},
+		{ID: 3, Op: OpPut, Result: OKResult()},
+		{ID: 4, Op: OpCAS, Result: Result{Status: StatusCASMismatch, Val: []byte("cur"), HasVal: true}},
+		{ID: 5, Op: OpStats, Result: ValResult([]byte(`{"x":1}`))},
+		{ID: 6, Op: OpPing, Result: Result{Status: StatusUnavailable}},
+		{ID: 7, Op: OpMulti, Result: OKResult(), Batch: []Result{
+			ValResult([]byte("a")), {Status: StatusNotFound}, OKResult(),
+		}},
+		{ID: 8, Op: OpGet, Result: ErrResult("boom")},
+	}
+	for _, resp := range resps {
+		payload, err := AppendResponse(nil, &resp)
+		if err != nil {
+			t.Fatalf("AppendResponse(%+v): %v", resp, err)
+		}
+		got, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("DecodeResponse: %v", err)
+		}
+		if got.Op == OpMulti && len(got.Batch) == 0 && len(resp.Batch) == 0 {
+			got.Batch, resp.Batch = nil, nil
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Fatalf("round trip: got %+v, want %+v", got, resp)
+		}
+	}
+}
+
+func TestEncodeLimits(t *testing.T) {
+	longKey := strings.Repeat("k", MaxKeyLen+1)
+	if _, err := AppendRequest(nil, &Request{Op: OpGet, Cmd: Get(longKey)}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("oversized key: err = %v, want ErrLimit", err)
+	}
+	bigVal := make([]byte, MaxValLen+1)
+	if _, err := AppendRequest(nil, &Request{Op: OpPut, Cmd: Put("k", bigVal)}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("oversized value: err = %v, want ErrLimit", err)
+	}
+	batch := make([]Cmd, MaxMultiOps+1)
+	for i := range batch {
+		batch[i] = Get("k")
+	}
+	if _, err := AppendRequest(nil, &Request{Op: OpMulti, Batch: batch}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("oversized batch: err = %v, want ErrLimit", err)
+	}
+	if _, err := AppendRequest(nil, &Request{Op: OpMulti, Batch: []Cmd{{Op: OpStats}}}); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("nested STATS: err = %v, want ErrBadOp", err)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   {0, 0, 0},
+		"no op":          {0, 0, 0, 1},
+		"bad op":         {0, 0, 0, 1, 0xFF},
+		"truncated key":  {0, 0, 0, 1, byte(OpGet), 10, 'a'},
+		"huge key len":   append([]byte{0, 0, 0, 1, byte(OpGet)}, binary.AppendUvarint(nil, 1<<40)...),
+		"trailing bytes": {0, 0, 0, 1, byte(OpPing), 1, 2, 3},
+		"bad cas flag":   {0, 0, 0, 1, byte(OpCAS), 1, 'k', 7, 0},
+		"multi huge n":   append([]byte{0, 0, 0, 1, byte(OpMulti)}, binary.AppendUvarint(nil, 1<<40)...),
+		"multi trunc":    {0, 0, 0, 1, byte(OpMulti), 2, byte(OpGet), 1, 'a'},
+	}
+	for name, payload := range cases {
+		if _, err := DecodeRequest(payload); err == nil {
+			t.Errorf("%s: DecodeRequest accepted %x", name, payload)
+		}
+	}
+	respCases := map[string][]byte{
+		"empty":        {},
+		"no result":    {0, 0, 0, 1, byte(OpGet)},
+		"bad val flag": {0, 0, 0, 1, byte(OpGet), 0, 9},
+		"trunc val":    {0, 0, 0, 1, byte(OpGet), 0, 1, 200},
+	}
+	for name, payload := range respCases {
+		if _, err := DecodeResponse(payload); err == nil {
+			t.Errorf("%s: DecodeResponse accepted %x", name, payload)
+		}
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(hdr[:])), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: err = %v, want ErrFrameTooLarge", err)
+	}
+	// Truncated body: header promises 8 bytes, only 3 arrive.
+	binary.BigEndian.PutUint32(hdr[:], 8)
+	in := append(hdr[:], 1, 2, 3)
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(in)), nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated frame: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestDecodeValuesAreCopies(t *testing.T) {
+	payload, err := AppendRequest(nil, &Request{ID: 1, Op: OpPut, Cmd: Put("k", []byte("value"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := DecodeRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		payload[i] = 0xAA // simulate frame-buffer reuse
+	}
+	if string(req.Cmd.Val) != "value" {
+		t.Fatalf("decoded value aliases the frame buffer: %q", req.Cmd.Val)
+	}
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Record the mvstm micro-benchmarks (commit contention, begin/finish) into
-# BENCH_mvstm.json so successive PRs accumulate a perf trajectory.
+# BENCH_mvstm.json, and the wtfd end-to-end sweep (wtfbench -exp server)
+# into BENCH_server.json, so successive PRs accumulate a perf trajectory.
 #
 # Usage: scripts/bench.sh <label> [benchtime]
 #   label      name of this measurement (e.g. "seed", "commit-pipeline")
@@ -46,3 +47,25 @@ fi
 
 echo "recorded '$LABEL' into $OUT:"
 printf '%s\n' "$RAW" | grep '^Benchmark' || true
+
+# --- wtfd end-to-end sweep -------------------------------------------------
+SRVOUT=BENCH_server.json
+SRVRES=$(go run ./cmd/wtfbench -exp server -quick -duration 150ms -json | jq '.result')
+
+SRVMETA=$(jq -n \
+	--arg lbl "$LABEL" \
+	--arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	--arg rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+	--arg go "$(go version | awk '{print $3}')" \
+	--argjson cpus "$(nproc)" \
+	--argjson result "$SRVRES" \
+	'{"label":$lbl,"date":$date,"rev":$rev,"go":$go,"cpus":$cpus,"result":$result}')
+
+if [ -f "$SRVOUT" ]; then
+	jq --argjson entry "$SRVMETA" '. + [$entry]' "$SRVOUT" >"$SRVOUT.tmp" && mv "$SRVOUT.tmp" "$SRVOUT"
+else
+	jq -n --argjson entry "$SRVMETA" '[$entry]' >"$SRVOUT"
+fi
+
+echo "recorded '$LABEL' into $SRVOUT:"
+printf '%s\n' "$SRVRES" | jq -c '.Points[0], .Points[-1]'

@@ -12,7 +12,7 @@ go test ./...
 echo "== tier-1.5: vet =="
 go vet ./...
 
-echo "== tier-1.5: race (mvstm commit pipeline + core engine) =="
-go test -race ./internal/mvstm/ ./internal/core/
+echo "== tier-1.5: race (mvstm commit pipeline + core engine + wtfd server/wire) =="
+go test -race ./internal/mvstm/ ./internal/core/ ./internal/server/ ./internal/wire/
 
 echo "ci: all gates passed"

@@ -12,8 +12,8 @@ go vet ./...
 echo "== tests (unit + integration + property) =="
 go test ./...
 
-echo "== race gate (commit pipeline + futures engine; scripts/ci.sh) =="
-go test -race ./internal/mvstm/ ./internal/core/
+echo "== race gate (commit pipeline + futures engine + wtfd; scripts/ci.sh) =="
+go test -race ./internal/mvstm/ ./internal/core/ ./internal/server/ ./internal/wire/
 
 echo "== formal-model self-check (Fig. 1a program) =="
 go run ./cmd/fsgcheck -demo -witness 2>/dev/null
@@ -22,7 +22,7 @@ echo "== figures (quick grids; add -quick=false -duration 10s for paper scale) =
 go run ./cmd/wtfbench -exp all "$@"
 
 echo "== examples =="
-for ex in quickstart cart bank vacation events; do
+for ex in quickstart cart bank vacation events server; do
   echo "-- $ex"
   go run "./examples/$ex"
 done

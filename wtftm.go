@@ -66,6 +66,14 @@ type (
 	Box[T any] = mvstm.Box[T]
 	// ReadWriter is anything boxes can be accessed through: *Txn or *Tx.
 	ReadWriter = mvstm.ReadWriter
+	// STMStats are the MV-STM substrate's monotonic counters, as returned
+	// by STM.Stats: commit/conflict/begin totals plus the commit pipeline's
+	// HelpedCommits and CommitQueueHWM (DESIGN.md §6).
+	STMStats = mvstm.Stats
+	// STMStatsSnapshot is a point-in-time copy of STMStats, so callers
+	// (e.g. the wtfd stats endpoint) can read the substrate counters
+	// without importing internal/mvstm.
+	STMStatsSnapshot = mvstm.StatsSnapshot
 
 	// System is the transactional-futures engine (WTF-TM).
 	System = core.System

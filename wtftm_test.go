@@ -112,3 +112,49 @@ func TestFacadeConcurrentCounter(t *testing.T) {
 		t.Fatalf("counter = %d, want 100", got)
 	}
 }
+
+// TestFacadeSTMStats checks the substrate counters — including the commit
+// pipeline's HelpedCommits and CommitQueueHWM — are reachable through the
+// facade's STMStats/STMStatsSnapshot aliases, without importing
+// internal/mvstm.
+func TestFacadeSTMStats(t *testing.T) {
+	stm := wtftm.NewSTM()
+	sys := wtftm.NewSystem(stm, wtftm.Options{Ordering: wtftm.WO})
+	box := wtftm.NewBox(stm, 0)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := sys.Atomic(func(tx *wtftm.Tx) error {
+					box.Write(tx, box.Read(tx)+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var stats *wtftm.STMStats = stm.Stats()
+	var snap wtftm.STMStatsSnapshot = stats.Snapshot()
+	if snap.Commits < 100 {
+		t.Fatalf("commits = %d, want >= 100", snap.Commits)
+	}
+	if snap.Begins < snap.Commits {
+		t.Fatalf("begins (%d) < commits (%d)", snap.Begins, snap.Commits)
+	}
+	// The commit pipeline saw at least one enqueued transaction; with four
+	// contending writers HelpedCommits is usually positive too, but only the
+	// high-water mark is deterministic enough to assert.
+	if snap.CommitQueueHWM < 1 {
+		t.Fatalf("commit queue HWM = %d, want >= 1", snap.CommitQueueHWM)
+	}
+	if snap.HelpedCommits < 0 {
+		t.Fatalf("helped commits = %d", snap.HelpedCommits)
+	}
+}
