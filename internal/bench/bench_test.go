@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -19,27 +20,37 @@ func tiny() Config {
 }
 
 func TestMeasureCountsOps(t *testing.T) {
-	ops, el, err := measure(3, 30*time.Millisecond, func(_ int, _ *workload.RNG) (int, error) {
-		time.Sleep(time.Millisecond)
+	// The body must not pace itself with sleeps: iterations are then
+	// nanoseconds each and every worker contributes ops regardless of how
+	// the runtime schedules the measurement window.
+	var ran [3]atomic.Int64
+	ops, el, err := measure(3, 10*time.Millisecond, func(w int, _ *workload.RNG) (int, error) {
+		ran[w].Add(1)
 		return 2, nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	var iters int64
+	for i := range ran {
+		iters += ran[i].Load()
+	}
+	if ops != 2*iters {
+		t.Fatalf("ops = %d, want 2 per iteration over %d iterations", ops, iters)
+	}
 	if ops < 6 {
 		t.Fatalf("ops = %d, want >= 6", ops)
 	}
-	if el < 30*time.Millisecond {
-		t.Fatalf("elapsed = %v", el)
+	if el < 10*time.Millisecond {
+		t.Fatalf("elapsed = %v, want >= the measurement window", el)
 	}
 }
 
 func TestMeasurePropagatesError(t *testing.T) {
-	_, _, err := measure(2, 20*time.Millisecond, func(w int, _ *workload.RNG) (int, error) {
+	_, _, err := measure(2, 10*time.Millisecond, func(w int, _ *workload.RNG) (int, error) {
 		if w == 1 {
 			return 0, errBench
 		}
-		time.Sleep(time.Millisecond)
 		return 1, nil
 	})
 	if err != errBench {

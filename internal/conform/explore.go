@@ -1,0 +1,73 @@
+package conform
+
+import "time"
+
+// ExploreStats counts what an exploration did.
+type ExploreStats struct {
+	Executions int
+	Deadlocks  int
+	MaxTrace   int
+}
+
+// ExplorePCT samples `budget` schedules of the program described by p with
+// independent PCT policies seeded from p.Seed, checking each against the
+// FSG oracle. It stops at the first violation.
+func ExplorePCT(p Params, budget, depth int, timeout time.Duration) (*Violation, ExploreStats) {
+	var st ExploreStats
+	for i := 0; i < budget; i++ {
+		pol := NewPCTPolicy(p.Seed+int64(i)*0x9e3779b9, depth, 512)
+		ex := Run(p, pol, timeout)
+		st.Executions++
+		if len(ex.Trace) > st.MaxTrace {
+			st.MaxTrace = len(ex.Trace)
+		}
+		if ex.Deadlock {
+			st.Deadlocks++
+		}
+		if v := check(p, ex); v != nil {
+			return v, st
+		}
+	}
+	return nil, st
+}
+
+// ExploreDFS enumerates schedules of the program described by p exhaustively
+// in depth-first order over choice prefixes (stateless search: each schedule
+// is a fresh run replaying a prefix, with first-enabled choices beyond it).
+// The search is bounded by budget executions; it is exhaustive when the
+// program's schedule tree is smaller than the budget. Stops at the first
+// violation.
+func ExploreDFS(p Params, budget int, timeout time.Duration) (*Violation, ExploreStats) {
+	var st ExploreStats
+	prefix := []int{}
+	for {
+		ex := Run(p, NewTracePolicy(prefix), timeout)
+		st.Executions++
+		if len(ex.Trace) > st.MaxTrace {
+			st.MaxTrace = len(ex.Trace)
+		}
+		if ex.Deadlock {
+			st.Deadlocks++
+		}
+		if v := check(p, ex); v != nil {
+			return v, st
+		}
+		if st.Executions >= budget {
+			return nil, st
+		}
+		// Backtrack: advance the deepest choice with an unexplored
+		// alternative; everything deeper restarts at first-enabled. This
+		// odometer enumerates the schedule tree depth-first without repeats.
+		tr := ex.Trace
+		i := len(tr) - 1
+		for ; i >= 0; i-- {
+			if tr[i].Index+1 < tr[i].Enabled {
+				break
+			}
+		}
+		if i < 0 {
+			return nil, st // tree exhausted
+		}
+		prefix = append(Indices(tr[:i]), tr[i].Index+1)
+	}
+}

@@ -1,0 +1,47 @@
+//go:build conform_fault
+
+package conform
+
+import (
+	"testing"
+	"time"
+
+	"wtftm/internal/core"
+)
+
+// TestFaultDetected proves the harness catches a real semantic bug: with
+// backward validation disabled (conform_fault), the DFS explorer must find
+// an FSG violation within the CI smoke budget, the shrinker must reduce it,
+// and the shrunk schedule must replay deterministically from its trace.
+func TestFaultDetected(t *testing.T) {
+	const timeout = 10 * time.Second
+	var found *Violation
+	for seed := int64(1); seed <= 8 && found == nil; seed++ {
+		p := Params{
+			Ordering: core.WO, Atomicity: core.LAC,
+			Threads: 1, TxPerThread: 1, OpsPerTx: 6, Boxes: 2, MaxFutures: 2, Depth: 1,
+			Seed: seed,
+		}
+		found, _ = ExploreDFS(p, 300, timeout)
+	}
+	if found == nil {
+		t.Fatal("fault-injected engine produced no violation within the smoke budget")
+	}
+	if found.Kind != "fsg-cycle" {
+		t.Fatalf("unexpected violation kind %q: %s", found.Kind, found)
+	}
+
+	shrunk := Shrink(found, 200, timeout)
+	if shrunk.Params.Threads > found.Params.Threads ||
+		shrunk.Params.OpsPerTx > found.Params.OpsPerTx {
+		t.Fatalf("shrinking grew the repro: %s", shrunk)
+	}
+
+	reproduced, deterministic := Replay(shrunk, timeout)
+	if !deterministic {
+		t.Fatalf("shrunk schedule does not replay deterministically: %s", shrunk)
+	}
+	if !reproduced {
+		t.Fatalf("shrunk schedule does not reproduce the violation: %s", shrunk)
+	}
+}

@@ -1,0 +1,76 @@
+package conform
+
+import "math/rand"
+
+// pctPolicy is a PCT-style randomized scheduler (Burckhardt et al., ASPLOS
+// 2010): every task draws a random priority on first sight, the highest
+// priority enabled task always runs, and at d pre-sampled step indices the
+// running choice is demoted below every other priority. With k steps and n
+// tasks this finds any bug of depth d with probability >= 1/(n·k^(d-1)).
+type pctPolicy struct {
+	rng      *rand.Rand
+	prio     map[int]float64
+	change   map[int]bool
+	demotion float64 // strictly decreasing; always below fresh priorities
+}
+
+// NewPCTPolicy builds a PCT policy from seed with d priority-change points
+// sampled uniformly over the first maxSteps scheduling decisions.
+func NewPCTPolicy(seed int64, d, maxSteps int) Policy {
+	rng := rand.New(rand.NewSource(seed))
+	change := make(map[int]bool, d)
+	for i := 0; i < d && maxSteps > 0; i++ {
+		change[rng.Intn(maxSteps)] = true
+	}
+	return &pctPolicy{rng: rng, prio: make(map[int]float64), change: change, demotion: -1}
+}
+
+func (p *pctPolicy) Choose(step int, enabled []int) int {
+	best, bestPrio := 0, -1e18
+	for i, id := range enabled {
+		pr, ok := p.prio[id]
+		if !ok {
+			pr = p.rng.Float64() // fresh priorities are in (0,1)
+			p.prio[id] = pr
+		}
+		if pr > bestPrio {
+			best, bestPrio = i, pr
+		}
+	}
+	if p.change[step] {
+		p.prio[enabled[best]] = p.demotion
+		p.demotion--
+		// Re-pick with the demoted priority in effect.
+		best, bestPrio = 0, -1e18
+		for i, id := range enabled {
+			if pr := p.prio[id]; pr > bestPrio {
+				best, bestPrio = i, pr
+			}
+		}
+	}
+	return best
+}
+
+// tracePolicy replays a recorded schedule: choice i of the trace at step i,
+// first-enabled after the trace runs out. Replaying the full trace of a
+// deterministic execution reproduces it exactly.
+type tracePolicy struct{ trace []int }
+
+// NewTracePolicy replays the given choice indices.
+func NewTracePolicy(trace []int) Policy { return &tracePolicy{trace: trace} }
+
+func (p *tracePolicy) Choose(step int, enabled []int) int {
+	if step < len(p.trace) {
+		return p.trace[step] // Scheduler clamps out-of-range values
+	}
+	return 0
+}
+
+// Indices projects a recorded trace to its choice indices (the replay form).
+func Indices(trace []Choice) []int {
+	out := make([]int, len(trace))
+	for i, c := range trace {
+		out[i] = c.Index
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package conform
+
+import (
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"wtftm/internal/core"
+	"wtftm/internal/history"
+	"wtftm/internal/mvstm"
+)
+
+// Params describes one generated transactional-futures program. The program
+// is a pure function of Params: the same Params under the same schedule
+// produce the same recorded log, which is what makes shrunk repros
+// replayable from a seed.
+type Params struct {
+	Ordering  core.Ordering
+	Atomicity core.Atomicity
+	// Threads is the number of concurrent top-level transaction drivers.
+	Threads int
+	// TxPerThread is how many top-level transactions each driver runs.
+	TxPerThread int
+	// OpsPerTx is the length of each top-level transaction body.
+	OpsPerTx int
+	// Boxes is the number of shared boxes (small values force conflicts).
+	Boxes int
+	// MaxFutures bounds futures submitted per transaction body.
+	MaxFutures int
+	// Depth is the futures nesting depth (1 = futures submit no futures).
+	Depth int
+	// Seed derives every random decision the program makes.
+	Seed int64
+}
+
+// Execution is the outcome of running one program under one schedule.
+type Execution struct {
+	Log      []history.Op
+	Trace    []Choice
+	Deadlock bool
+}
+
+// escPool holds committed escaping futures (GAC) handed across top-level
+// transactions. Managed tasks run serialized so access is logically
+// sequential; the mutex covers the detached-recovery mode only.
+type escPool struct {
+	mu   sync.Mutex
+	futs []*core.Future
+}
+
+func (p *escPool) push(fs ...*core.Future) {
+	p.mu.Lock()
+	p.futs = append(p.futs, fs...)
+	p.mu.Unlock()
+}
+
+func (p *escPool) pop(rng *rand.Rand) *core.Future {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.futs) == 0 {
+		return nil
+	}
+	i := rng.Intn(len(p.futs))
+	f := p.futs[i]
+	p.futs = append(p.futs[:i], p.futs[i+1:]...)
+	return f
+}
+
+// progSeed mixes the program seed with a thread/transaction coordinate
+// (splitmix64 finalizer) so every body has an independent random stream.
+func progSeed(seed int64, th, txn int) int64 {
+	z := uint64(seed) ^ (uint64(th)+1)*0x9e3779b97f4a7c15 ^ (uint64(txn)+1)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Run executes the program described by p under the schedule chosen by pol
+// and returns the recorded log plus the schedule trace. timeout bounds the
+// execution via the scheduler watchdog.
+func Run(p Params, pol Policy, timeout time.Duration) Execution {
+	stm := mvstm.New()
+	rec := history.NewRecorder()
+	sc := NewScheduler(pol, timeout)
+	stm.SetSchedHook(sc)
+	sys := core.New(stm, core.Options{
+		Ordering:   p.Ordering,
+		Atomicity:  p.Atomicity,
+		MaxRetries: 64,
+		Recorder:   rec,
+		Hook:       sc,
+	})
+	boxes := make([]*mvstm.VBox, p.Boxes)
+	for i := range boxes {
+		boxes[i] = stm.NewBoxNamed("x"+strconv.Itoa(i), 0)
+	}
+	pool := &escPool{}
+
+	for th := 0; th < p.Threads; th++ {
+		th := th
+		sc.Spawn(func() { driveThread(sys, p, th, boxes, pool) })
+	}
+	res := sc.Wait()
+	return Execution{Log: rec.Ops(), Trace: res.Trace, Deadlock: res.Deadlock}
+}
+
+// driveThread runs one driver: TxPerThread top-level transactions, each a
+// deterministic function of its progSeed. Under GAC a committed
+// transaction's unevaluated futures are pushed to the shared pool and later
+// transactions evaluate popped foreign futures.
+func driveThread(sys *core.System, p Params, th int, boxes []*mvstm.VBox, pool *escPool) {
+	for txn := 0; txn < p.TxPerThread; txn++ {
+		seed := progSeed(p.Seed, th, txn)
+		var foreign *core.Future
+		if p.Atomicity == core.GAC && txn > 0 {
+			foreign = pool.pop(rand.New(rand.NewSource(seed)))
+		}
+		var escaped []*core.Future
+		err := sys.Atomic(func(tx *core.Tx) error {
+			// Fresh rng per attempt: retries replay the identical op sequence.
+			rng := rand.New(rand.NewSource(seed))
+			escaped = escaped[:0]
+			if foreign != nil {
+				tx.Evaluate(foreign) // result/error immaterial to the history
+			}
+			var local []*core.Future
+			evaluated := make(map[*core.Future]bool)
+			for i := 0; i < p.OpsPerTx; i++ {
+				switch r := rng.Intn(100); {
+				case r < 30:
+					tx.Read(boxes[rng.Intn(len(boxes))])
+				case r < 60:
+					tx.Write(boxes[rng.Intn(len(boxes))], opVal(th, txn, i))
+				case r < 80 && len(local) < p.MaxFutures:
+					local = append(local, tx.Submit(futureBody(boxes, rng.Int63(), p.Depth)))
+				default:
+					if len(local) > 0 {
+						f := local[rng.Intn(len(local))]
+						tx.Evaluate(f)
+						evaluated[f] = true
+					} else {
+						tx.Read(boxes[rng.Intn(len(boxes))])
+					}
+				}
+			}
+			for _, f := range local {
+				if !evaluated[f] {
+					escaped = append(escaped, f)
+				}
+			}
+			return nil
+		})
+		if err == nil && p.Atomicity == core.GAC {
+			pool.push(escaped...)
+		}
+	}
+}
+
+// futureBody generates a deterministic future body: a short read/write mix
+// with optional nested submissions while depth allows. Bodies are pure
+// functions of their seed so re-executions replay identically.
+func futureBody(boxes []*mvstm.VBox, seed int64, depth int) func(*core.Tx) (any, error) {
+	return func(tx *core.Tx) (any, error) {
+		rng := rand.New(rand.NewSource(seed))
+		var local []*core.Future
+		n := 2 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			switch r := rng.Intn(100); {
+			case r < 40:
+				tx.Read(boxes[rng.Intn(len(boxes))])
+			case r < 80:
+				tx.Write(boxes[rng.Intn(len(boxes))], int(seed%1000)*100+i)
+			case depth > 1:
+				local = append(local, tx.Submit(futureBody(boxes, rng.Int63(), depth-1)))
+			default:
+				if len(local) > 0 {
+					tx.Evaluate(local[rng.Intn(len(local))])
+				} else {
+					tx.Read(boxes[rng.Intn(len(boxes))])
+				}
+			}
+		}
+		// Evaluate nested futures so LAC and GAC behave alike at this level.
+		for _, f := range local {
+			tx.Evaluate(f)
+		}
+		return nil, nil
+	}
+}
+
+func opVal(th, txn, i int) int { return th*1_000_000 + txn*1_000 + i }

@@ -1,0 +1,371 @@
+package conform
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"wtftm/internal/sched"
+)
+
+// taskState is the scheduler-side lifecycle of a managed goroutine.
+type taskState int
+
+const (
+	tsReady   taskState = iota // runnable, waiting for the baton
+	tsRunning                  // holds the baton
+	tsParked                   // waiting on a ready-predicate
+	tsDone                     // called TaskEnd
+)
+
+// task is one managed goroutine. gate is a 1-buffered baton channel: a
+// receive grants the right to run until the next hook point.
+type task struct {
+	id    int
+	gate  chan struct{}
+	state taskState
+	ready func() bool // set while parked
+}
+
+// wake hands t a baton token. Non-blocking: gate is 1-buffered and in normal
+// operation at most one token is ever outstanding, so a full buffer can only
+// mean a detach already woke the task — dropping the send is then correct.
+func (t *task) wake() {
+	select {
+	case t.gate <- struct{}{}:
+	default:
+	}
+}
+
+// Choice records one scheduling decision: how many tasks were enabled and
+// which one (by position in the sorted enabled list) was chosen. A sequence
+// of Choices is a complete, replayable encoding of a schedule.
+type Choice struct {
+	Enabled int
+	Index   int
+}
+
+// Policy decides, at each scheduling point, which enabled task runs next.
+// enabled lists task ids in ascending order; the return value is an index
+// into enabled (out-of-range values are clamped). Implementations must be
+// deterministic functions of their own state and the arguments.
+type Policy interface {
+	Choose(step int, enabled []int) int
+}
+
+// Scheduler serializes the goroutines of one program execution and picks
+// every interleaving decision through a Policy. It implements sched.Hook.
+//
+// Exactly one managed task executes engine code at a time; control transfers
+// only inside Yield/Park/TaskBegin/TaskEnd. The schedule is therefore fully
+// determined by the Policy's choices, which the scheduler records as a trace
+// for replay and systematic exploration.
+type Scheduler struct {
+	policy  Policy
+	timeout time.Duration
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	tasks         []*task
+	cur           *task
+	pendingSpawns int
+	live          int // registered, not yet done
+	started       bool
+	trace         []Choice
+	detached      bool
+	deadlock      bool
+
+	doneOnce sync.Once
+	doneCh   chan struct{}
+}
+
+// Result summarizes one completed (or abandoned) execution.
+type Result struct {
+	// Trace is the recorded schedule: one Choice per scheduling decision.
+	Trace []Choice
+	// Deadlock is true when no task was runnable (or the watchdog fired)
+	// while unfinished tasks remained; the execution was then detached and
+	// its log is not trustworthy evidence of an engine bug by itself.
+	Deadlock bool
+}
+
+// NewScheduler creates a scheduler driving decisions through policy. timeout
+// bounds the whole execution; past it the watchdog detaches every task so
+// the test process cannot hang (a fired watchdog reports as Deadlock).
+func NewScheduler(policy Policy, timeout time.Duration) *Scheduler {
+	s := &Scheduler{policy: policy, timeout: timeout, doneCh: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Spawn registers fn as a managed task and starts its goroutine. It returns
+// once the task is registered (but not yet running), so task ids follow
+// Spawn order deterministically. Call before Wait.
+func (s *Scheduler) Spawn(fn func()) {
+	s.mu.Lock()
+	s.pendingSpawns++
+	s.mu.Unlock()
+	go func() {
+		s.TaskBegin()
+		defer s.TaskEnd()
+		fn()
+	}()
+	s.mu.Lock()
+	for s.pendingSpawns > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Wait hands the baton to the first task and blocks until every managed task
+// ended (or the watchdog gave up on a wedged execution).
+func (s *Scheduler) Wait() Result {
+	var watchdog *time.Timer
+	if s.timeout > 0 {
+		watchdog = time.AfterFunc(s.timeout, func() {
+			s.mu.Lock()
+			if s.live > 0 && !s.detached {
+				s.deadlock = true
+				s.detachLocked()
+			}
+			s.mu.Unlock()
+		})
+	}
+	s.mu.Lock()
+	s.started = true
+	for s.pendingSpawns > 0 {
+		s.cond.Wait()
+	}
+	if s.live == 0 {
+		s.mu.Unlock()
+		s.finish()
+	} else {
+		s.dispatchLocked() // unlocks
+	}
+	<-s.doneCh
+	if watchdog != nil {
+		watchdog.Stop()
+	}
+	s.mu.Lock()
+	res := Result{Trace: s.trace, Deadlock: s.deadlock}
+	s.mu.Unlock()
+	return res
+}
+
+func (s *Scheduler) finish() { s.doneOnce.Do(func() { close(s.doneCh) }) }
+
+// enabledLocked lists runnable tasks: ready ones plus parked ones whose
+// predicate holds. Ids ascend, so the listing is deterministic.
+func (s *Scheduler) enabledLocked() []int {
+	var out []int
+	for _, t := range s.tasks {
+		switch t.state {
+		case tsReady:
+			out = append(out, t.id)
+		case tsParked:
+			if t.ready() {
+				out = append(out, t.id)
+			}
+		}
+	}
+	return out
+}
+
+// pickLocked makes one scheduling decision. It returns nil when no task is
+// enabled (completion if live == 0, deadlock otherwise).
+func (s *Scheduler) pickLocked() *task {
+	for s.pendingSpawns > 0 {
+		s.cond.Wait()
+	}
+	enabled := s.enabledLocked()
+	if len(enabled) == 0 {
+		return nil
+	}
+	idx := s.policy.Choose(len(s.trace), enabled)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(enabled) {
+		idx = len(enabled) - 1
+	}
+	s.trace = append(s.trace, Choice{Enabled: len(enabled), Index: idx})
+	return s.tasks[enabled[idx]]
+}
+
+// dispatchLocked picks the next task and sends it the baton. The scheduler
+// lock is released in all paths. Caller must not hold the baton.
+func (s *Scheduler) dispatchLocked() {
+	next := s.pickLocked()
+	if s.detached {
+		s.mu.Unlock()
+		return
+	}
+	if next == nil {
+		if s.live > 0 {
+			s.deadlock = true
+			s.detachLocked()
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		s.finish()
+		return
+	}
+	s.cur = next
+	next.state = tsRunning
+	next.ready = nil
+	s.mu.Unlock()
+	next.wake()
+}
+
+// handoffLocked transfers the baton away from t (the current task, already
+// moved to tsReady or tsParked by the caller) and blocks t until it is
+// scheduled again or the execution detached. Unlocks in all paths.
+func (s *Scheduler) handoffLocked(t *task) {
+	next := s.pickLocked()
+	if s.detached {
+		s.mu.Unlock()
+		return
+	}
+	if next == nil {
+		if s.live > 0 {
+			s.deadlock = true
+			s.detachLocked()
+		} else {
+			// Cannot happen while t itself is live, but keep the invariant.
+			s.finish()
+		}
+		s.mu.Unlock()
+		return
+	}
+	if next == t {
+		t.state = tsRunning
+		t.ready = nil
+		s.mu.Unlock()
+		return
+	}
+	s.cur = next
+	next.state = tsRunning
+	next.ready = nil
+	s.mu.Unlock()
+	next.wake()
+	<-t.gate
+}
+
+// detachLocked abandons deterministic control: every blocked task gets a
+// baton token and subsequent hook calls become (near) no-ops, letting the
+// goroutines drain through the normal engine paths.
+func (s *Scheduler) detachLocked() {
+	s.detached = true
+	for _, t := range s.tasks {
+		if t.state != tsDone {
+			select {
+			case t.gate <- struct{}{}:
+			default:
+			}
+		}
+	}
+	s.cond.Broadcast()
+	s.finish()
+}
+
+// Yield implements sched.Hook: a preemption point in the running task.
+func (s *Scheduler) Yield(sched.Point, string) {
+	s.mu.Lock()
+	if s.detached {
+		s.mu.Unlock()
+		return
+	}
+	t := s.cur
+	t.state = tsReady
+	s.handoffLocked(t)
+}
+
+// Park implements sched.Hook: the running task cannot proceed until ready()
+// holds. The scheduler only re-enables the task once the predicate is true,
+// so a chosen task can always make progress.
+func (s *Scheduler) Park(ready func() bool) {
+	s.mu.Lock()
+	if s.detached {
+		s.mu.Unlock()
+		s.spinUntil(ready)
+		return
+	}
+	t := s.cur
+	t.state = tsParked
+	t.ready = ready
+	s.handoffLocked(t)
+	if s.isDetached() {
+		s.spinUntil(ready)
+	}
+}
+
+// spinUntil is the detached-mode fallback for Park: poll the predicate with
+// backoff, giving up (and killing the goroutine) if the execution is truly
+// wedged so the process survives to report the deadlock.
+func (s *Scheduler) spinUntil(ready func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for !ready() {
+		if time.Now().After(deadline) {
+			runtime.Goexit()
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+func (s *Scheduler) isDetached() bool {
+	s.mu.Lock()
+	d := s.detached
+	s.mu.Unlock()
+	return d
+}
+
+// SpawnExpected implements sched.Hook: the running task is about to start a
+// goroutine that will call TaskBegin. Scheduling pauses until it registers.
+func (s *Scheduler) SpawnExpected() {
+	s.mu.Lock()
+	s.pendingSpawns++
+	s.mu.Unlock()
+}
+
+// TaskBegin implements sched.Hook: register the calling goroutine as a
+// managed task and block until it is first scheduled.
+func (s *Scheduler) TaskBegin() {
+	s.mu.Lock()
+	t := &task{id: len(s.tasks), gate: make(chan struct{}, 1), state: tsReady}
+	s.tasks = append(s.tasks, t)
+	s.pendingSpawns--
+	s.live++
+	detached := s.detached
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if detached {
+		return
+	}
+	<-t.gate
+}
+
+// TaskEnd implements sched.Hook: the calling task makes no further hook
+// calls. The baton moves on without blocking the caller.
+func (s *Scheduler) TaskEnd() {
+	s.mu.Lock()
+	s.live--
+	if s.detached {
+		if s.live == 0 {
+			s.mu.Unlock()
+			s.finish()
+			return
+		}
+		s.mu.Unlock()
+		return
+	}
+	t := s.cur
+	t.state = tsDone
+	if s.live == 0 && s.pendingSpawns == 0 {
+		s.mu.Unlock()
+		s.finish()
+		return
+	}
+	s.dispatchLocked()
+}

@@ -1,0 +1,70 @@
+package conform
+
+import "time"
+
+// shrinkCandidates yields parameter sets one step smaller than p along each
+// dimension, most-impactful first. Thread/transaction/op counts dominate
+// schedule-tree size, so they shrink before box or depth counts.
+func shrinkCandidates(p Params) []Params {
+	var out []Params
+	dec := func(f func(*Params)) {
+		q := p
+		f(&q)
+		out = append(out, q)
+	}
+	if p.Threads > 1 {
+		dec(func(q *Params) { q.Threads-- })
+	}
+	if p.TxPerThread > 1 {
+		dec(func(q *Params) { q.TxPerThread-- })
+	}
+	if p.OpsPerTx > 2 {
+		dec(func(q *Params) { q.OpsPerTx-- })
+	}
+	if p.MaxFutures > 1 {
+		dec(func(q *Params) { q.MaxFutures-- })
+	}
+	if p.Depth > 1 {
+		dec(func(q *Params) { q.Depth-- })
+	}
+	if p.Boxes > 1 {
+		dec(func(q *Params) { q.Boxes-- })
+	}
+	return out
+}
+
+// searchSmall looks for a violation of the reduced program within a small
+// budget: a DFS slice first (small programs are often exhaustible), then a
+// PCT slice.
+func searchSmall(p Params, budget int, timeout time.Duration) *Violation {
+	if v, st := ExploreDFS(p, budget/2, timeout); v != nil {
+		return v
+	} else if st.Executions < budget/2 {
+		// DFS exhausted the schedule tree: no violation exists for these
+		// parameters, skip the PCT pass.
+		return nil
+	}
+	v, _ := ExplorePCT(p, budget/2, 3, timeout)
+	return v
+}
+
+// Shrink greedily reduces a violation's program parameters while a violation
+// (of any kind) remains findable within perCandidateBudget executions,
+// returning the smallest repro found. The result's trace replays the
+// violation deterministically (callers can confirm with Replay).
+func Shrink(v *Violation, perCandidateBudget int, timeout time.Duration) *Violation {
+	cur := v
+	for {
+		improved := false
+		for _, cand := range shrinkCandidates(cur.Params) {
+			if w := searchSmall(cand, perCandidateBudget, timeout); w != nil {
+				cur = w
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}

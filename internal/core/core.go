@@ -38,6 +38,7 @@ import (
 
 	"wtftm/internal/history"
 	"wtftm/internal/mvstm"
+	"wtftm/internal/sched"
 )
 
 // Ordering selects the serialization-order semantics for futures (§3.1 of
@@ -91,6 +92,12 @@ type Options struct {
 	// Recorder, when non-nil, receives a totally ordered operation log of
 	// every transactional event, suitable for FSG-based verification.
 	Recorder *history.Recorder
+	// Hook, when non-nil, hands schedule control to a deterministic
+	// concurrency-testing harness (internal/conform): the engine yields at
+	// every read/write/submit/evaluate/commit boundary and delegates every
+	// internal wait to the hook. Production code leaves it nil; the cost is
+	// then a single nil check per boundary.
+	Hook sched.Hook
 }
 
 // ErrRetriesExhausted is returned by Atomic when MaxRetries is exceeded.
@@ -185,6 +192,72 @@ type userAbort struct{ err error }
 func (s *System) record(op history.Op) {
 	if r := s.opts.Recorder; r != nil {
 		r.Record(op)
+	}
+}
+
+// yield marks a scheduler preemption point (no-op without an installed hook).
+func (s *System) yield(p sched.Point, label string) {
+	if h := s.opts.Hook; h != nil {
+		h.Yield(p, label)
+	}
+}
+
+// closedNow reports whether ch is closed, without blocking.
+func closedNow(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// waitAny2 blocks until a or b is closed and returns 0 or 1 (preferring a
+// when both are ready). With a hook installed the wait is delegated to the
+// scheduler so a paused sibling task cannot deadlock the wait.
+func waitAny2(h sched.Hook, a, b <-chan struct{}) int {
+	if h == nil {
+		select {
+		case <-a:
+			return 0
+		case <-b:
+			return 1
+		}
+	}
+	for {
+		if closedNow(a) {
+			return 0
+		}
+		if closedNow(b) {
+			return 1
+		}
+		h.Park(func() bool { return closedNow(a) || closedNow(b) })
+	}
+}
+
+// waitAny3 is waitAny2 over three channels.
+func waitAny3(h sched.Hook, a, b, c <-chan struct{}) int {
+	if h == nil {
+		select {
+		case <-a:
+			return 0
+		case <-b:
+			return 1
+		case <-c:
+			return 2
+		}
+	}
+	for {
+		if closedNow(a) {
+			return 0
+		}
+		if closedNow(b) {
+			return 1
+		}
+		if closedNow(c) {
+			return 2
+		}
+		h.Park(func() bool { return closedNow(a) || closedNow(b) || closedNow(c) })
 	}
 }
 

@@ -87,19 +87,17 @@ func buildDetach(f *Future) *detachRec {
 // transaction than the caller's.
 func (tx *Tx) evaluateForeign(f *Future) (any, error) {
 	top := tx.top
+	hook := top.sys.opts.Hook
 
 	// The reference must have reached us through committed state (or an
 	// out-of-band channel): wait for the spawning transaction's outcome.
-	select {
-	case <-f.top.commitCh:
-	case <-f.top.abortCh:
+	switch waitAny3(hook, f.top.commitCh, f.top.abortCh, top.abortCh) {
+	case 1:
 		return nil, ErrStaleFuture
-	case <-top.abortCh:
+	case 2:
 		panic(&retrySignal{cause: top.abortCause()})
 	}
-	select {
-	case <-f.settled:
-	case <-top.abortCh:
+	if waitAny2(hook, f.settled, top.abortCh) == 1 {
 		panic(&retrySignal{cause: top.abortCause()})
 	}
 
@@ -130,9 +128,7 @@ func (tx *Tx) evaluateForeign(f *Future) (any, error) {
 		}
 		ch := f.claimCh
 		f.mu.Unlock()
-		select {
-		case <-ch:
-		case <-top.abortCh:
+		if waitAny2(hook, ch, top.abortCh) == 1 {
 			panic(&retrySignal{cause: top.abortCause()})
 		}
 		f.mu.Lock()

@@ -1,0 +1,10 @@
+//go:build !conform_fault
+
+package core
+
+// faultSkipBackwardValidation deliberately weakens the engine when built with
+// the conform_fault tag: evaluateLocal then merges parked futures without
+// backward validation, admitting non-serializable histories the conformance
+// harness (internal/conform, cmd/wtfconform) must detect via the FSG oracle.
+// In normal builds it is a false constant, so the fault branch compiles away.
+const faultSkipBackwardValidation = false

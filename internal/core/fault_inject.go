@@ -1,0 +1,8 @@
+//go:build conform_fault
+
+package core
+
+// See fault_default.go. Under the conform_fault tag backward validation at
+// the evaluation point is skipped, so a parked future merges even when
+// concurrent sub-transactions overwrote what it read.
+const faultSkipBackwardValidation = true

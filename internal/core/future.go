@@ -8,6 +8,7 @@ import (
 
 	"wtftm/internal/history"
 	"wtftm/internal/mvstm"
+	"wtftm/internal/sched"
 )
 
 // futState is the lifecycle state of a Future. Transitions happen under the
@@ -127,6 +128,10 @@ func (f *Future) isInvalidated() bool { return f.invalid.Load() }
 // run executes the body on its own goroutine and then classifies the
 // execution (the paper's future commit protocol).
 func (f *Future) run() {
+	if h := f.sys.opts.Hook; h != nil {
+		h.TaskBegin()
+		defer h.TaskEnd()
+	}
 	tx := &Tx{top: f.top, cur: f.vertex}
 	f.sys.record(history.Op{Top: f.top.id, Flow: f.flow, Kind: history.FutureBegin, Arg: f.name()})
 	res, err, retry := runBody(f.body, tx)
@@ -135,6 +140,7 @@ func (f *Future) run() {
 		close(f.settled)
 		f.top.settleOne()
 	}()
+	f.sys.yield(sched.PointFutureSettle, f.name())
 
 	if retry != nil || f.top.aborted.Load() {
 		f.setState(fStale)
@@ -155,9 +161,7 @@ func (f *Future) run() {
 	// straggler stalls its successors, exactly as in JTF.
 	if f.sys.opts.Ordering == SO {
 		for p := f.prevInFlow; p != nil; p = nil {
-			select {
-			case <-p.settled:
-			case <-f.top.abortCh:
+			if waitAny2(f.sys.opts.Hook, p.settled, f.top.abortCh) == 1 {
 				f.setState(fStale)
 				return
 			}
@@ -279,6 +283,11 @@ func (tx *Tx) evaluateLocal(f *Future) (any, error) {
 			{
 				reads := chainReadBoxes(f.vertex, f.flow)
 				conflict, ok := backwardConflicts(tx.cur, f.vertex.pred, reads)
+				if faultSkipBackwardValidation {
+					// conform_fault: pretend backward validation passed. The
+					// conformance harness must flag the resulting histories.
+					conflict = false
+				}
 				if ok && !conflict && !intersects(reads, f.extraPathWrites) {
 					// Serialize at the evaluation point: merge the chain into
 					// the evaluator's (iCommitting) sub-transaction.

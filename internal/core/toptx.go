@@ -7,6 +7,7 @@ import (
 
 	"wtftm/internal/history"
 	"wtftm/internal/mvstm"
+	"wtftm/internal/sched"
 )
 
 // phase tracks how far a top-level transaction has progressed; futures use
@@ -88,6 +89,7 @@ type topTx struct {
 }
 
 func (s *System) newTop() *topTx {
+	s.yield(sched.PointTopBegin, "")
 	txn := s.stm.Begin()
 	t := &topTx{
 		sys:        s,
@@ -184,6 +186,7 @@ func (t *topTx) commit() (err error) {
 		}
 	}()
 
+	t.sys.yield(sched.PointCommit, "")
 	t.phase.Store(phaseResolve)
 	sys := t.sys
 
@@ -200,9 +203,7 @@ func (t *topTx) commit() (err error) {
 			f := t.futures[i]
 			t.mu.Unlock()
 
-			select {
-			case <-f.settled:
-			case <-t.abortCh:
+			if waitAny2(sys.opts.Hook, f.settled, t.abortCh) == 1 {
 				return &retryError{cause: t.abortCause()}
 			}
 			if t.aborted.Load() {

@@ -5,6 +5,7 @@ import (
 
 	"wtftm/internal/history"
 	"wtftm/internal/mvstm"
+	"wtftm/internal/sched"
 )
 
 // Tx is the handle user code uses to access shared state inside a top-level
@@ -42,6 +43,10 @@ func (tx *Tx) checkAlive() {
 // transaction's main flow — on a partial-rollback request.
 func (tx *Tx) await(ch <-chan struct{}) {
 	top := tx.top
+	if h := top.sys.opts.Hook; h != nil {
+		tx.awaitHook(h, ch)
+		return
+	}
 	for {
 		if top.segMode && tx.cur.flow == 0 {
 			select {
@@ -65,6 +70,32 @@ func (tx *Tx) await(ch <-chan struct{}) {
 	}
 }
 
+// awaitHook is await under a scheduler hook: the wait is delegated to the
+// harness so a paused sibling cannot wedge it, with the same unwind rules.
+func (tx *Tx) awaitHook(h sched.Hook, ch <-chan struct{}) {
+	top := tx.top
+	seg := top.segMode && tx.cur.flow == 0
+	for {
+		if closedNow(top.abortCh) {
+			panic(&retrySignal{cause: top.abortCause()})
+		}
+		if seg {
+			if to := top.rollbackPending(); to != noRollback {
+				panic(&segSignal{to: int(to)})
+			}
+		}
+		if closedNow(ch) {
+			return
+		}
+		h.Park(func() bool {
+			if closedNow(ch) || closedNow(top.abortCh) {
+				return true
+			}
+			return seg && top.rollbackPending() != noRollback
+		})
+	}
+}
+
 // Abort aborts the enclosing top-level transaction permanently; Atomic
 // returns err without retrying. Inside a future body, prefer returning an
 // error from the body, which aborts only the future.
@@ -81,6 +112,7 @@ func (tx *Tx) Abort(err error) {
 // transaction's snapshot. Repeated reads of the same box within one
 // sub-transaction are stable.
 func (tx *Tx) Read(b *mvstm.VBox) any {
+	tx.top.sys.yield(sched.PointRead, b.Name)
 	tx.checkAlive()
 	top := tx.top
 	cur := tx.cur
@@ -144,6 +176,7 @@ func (tx *Tx) Read(b *mvstm.VBox) any {
 // transaction when this sub-transaction iCommits, and to other top-level
 // transactions when the top-level transaction commits.
 func (tx *Tx) Write(b *mvstm.VBox, v any) {
+	tx.top.sys.yield(sched.PointWrite, b.Name)
 	tx.checkAlive()
 	wid := tx.top.sys.nextWID()
 	tx.cur.vmu.Lock()
@@ -163,6 +196,7 @@ func (tx *Tx) Write(b *mvstm.VBox, v any) {
 // evaluated by this or — depending on the Atomicity semantics — any other
 // transaction.
 func (tx *Tx) Submit(body func(*Tx) (any, error)) *Future {
+	tx.top.sys.yield(sched.PointSubmit, "")
 	tx.checkAlive()
 	top := tx.top
 	sys := top.sys
@@ -199,6 +233,9 @@ func (tx *Tx) Submit(body func(*Tx) (any, error)) *Future {
 
 	sys.stats.FuturesSubmitted.Add(1)
 	sys.record(history.Op{Top: top.id, Flow: spawner.flow, Kind: history.Submit, Arg: f.name()})
+	if h := sys.opts.Hook; h != nil {
+		h.SpawnExpected()
+	}
 	go f.run()
 	if top.serialSubmit {
 		tx.await(f.settled)
@@ -212,6 +249,7 @@ func (tx *Tx) Submit(body func(*Tx) (any, error)) *Future {
 // Repeated evaluations are idempotent. A non-nil error is the error f's
 // body aborted with.
 func (tx *Tx) Evaluate(f *Future) (any, error) {
+	tx.top.sys.yield(sched.PointEvaluate, f.name())
 	tx.checkAlive()
 	tx.top.sys.record(history.Op{
 		Top: tx.top.id, Flow: tx.cur.flow, Kind: history.Evaluate, Arg: f.name(),

@@ -22,6 +22,22 @@ func FromLog(ops []history.Op) (History, error) {
 		Top:    make(map[string]string),
 	}
 
+	// Pass 0: reject future names the engine can never emit but a corrupted
+	// log could carry — empty names and names shaped like top-level agent
+	// names ("T<digits>"), which would conflate graph vertices downstream.
+	for _, op := range ops {
+		switch op.Kind {
+		case history.Submit, history.FutureBegin, history.FutureAbort:
+			if !validFutureName(op.Arg) {
+				return h, fmt.Errorf("fsg: invalid future name %q in %v record", op.Arg, op.Kind)
+			}
+		case history.Evaluate:
+			if name := strings.TrimSuffix(op.Arg, "/implicit"); !validFutureName(name) {
+				return h, fmt.Errorf("fsg: invalid future name %q in %v record", name, op.Kind)
+			}
+		}
+	}
+
 	// Pass 1: committed tops, their commit timestamps, future executions.
 	committed := make(map[int64]int64) // top id -> commit clock TS
 	type exec struct {
@@ -31,6 +47,7 @@ func FromLog(ops []history.Op) (History, error) {
 	futExecs := make(map[string][]exec)
 	futAborts := make(map[string]int)
 	futEscapeTop := make(map[string]int64) // escaped future -> evaluating (including) top
+	mergeFlows := make(map[exec]bool)      // (top, future flow) of local merges
 	for _, op := range ops {
 		switch op.Kind {
 		case history.TopCommit:
@@ -42,19 +59,45 @@ func FromLog(ops []history.Op) (History, error) {
 		case history.FutureMerge:
 			if name, ok := strings.CutPrefix(op.Arg, "evaluation/escaped "); ok {
 				futEscapeTop[name] = op.Top
+			} else {
+				mergeFlows[exec{top: op.Top, flow: op.Flow}] = true
 			}
 		}
 	}
 
-	// The surviving execution of each future, if any.
+	// The surviving, serialized execution of each future, if any. A future
+	// that never resolved — e.g. a GAC escapee no transaction ever evaluated —
+	// constrains nothing: its effects never took place in any serialization
+	// order, so its execution is excluded like a discarded one. Local merges
+	// are matched through the future's original flow (re-executions run in a
+	// fresh flow but the merge is recorded against the original); an execution
+	// kept in a different top than the spawner is a detached re-execution
+	// inside its evaluator, which serializes there by construction.
 	kept := make(map[string]exec)    // future name -> surviving execution
 	keptRev := make(map[exec]string) // surviving execution -> future name
 	for name, execs := range futExecs {
-		if len(execs) > futAborts[name] {
-			e := execs[len(execs)-1]
-			kept[name] = e
-			keptRev[e] = name
+		if len(execs) <= futAborts[name] {
+			continue
 		}
+		e := execs[len(execs)-1]
+		resolved := false
+		if _, escaped := futEscapeTop[name]; escaped {
+			resolved = true
+		}
+		spawnTop := execs[0].top
+		if e.top != spawnTop {
+			resolved = true
+		}
+		for i := 0; !resolved && i < len(execs); i++ {
+			if x := execs[i]; x.top == spawnTop && mergeFlows[x] {
+				resolved = true
+			}
+		}
+		if !resolved {
+			continue
+		}
+		kept[name] = e
+		keptRev[e] = name
 	}
 
 	agentOf := func(top int64, flow int) (string, bool) {
@@ -115,6 +158,9 @@ func FromLog(ops []history.Op) (History, error) {
 			ensureAgent(agent, op.Top)
 			h.Agents[agent] = append(h.Agents[agent], Op{Kind: Write, Var: op.Var, WID: "w" + strconv.FormatInt(op.WID, 10)})
 		case history.Submit:
+			if op.Arg == agent {
+				return h, fmt.Errorf("fsg: agent %s submits itself", agent)
+			}
 			ensureAgent(agent, op.Top)
 			h.Agents[agent] = append(h.Agents[agent], Op{Kind: Submit, Future: op.Arg})
 			// Guarantee the future has an agent stream even if its every
@@ -122,6 +168,9 @@ func FromLog(ops []history.Op) (History, error) {
 			ensureAgent(op.Arg, op.Top)
 		case history.Evaluate:
 			name := strings.TrimSuffix(op.Arg, "/implicit")
+			if name == agent {
+				return h, fmt.Errorf("fsg: agent %s evaluates itself", agent)
+			}
 			ensureAgent(agent, op.Top)
 			h.Agents[agent] = append(h.Agents[agent], Op{Kind: Eval, Future: name})
 		case history.TopBegin:
@@ -230,6 +279,27 @@ func elideRolledBackSegments(ops []history.Op) []history.Op {
 		kept = append(kept, op)
 	}
 	return kept
+}
+
+// validFutureName rejects names that would conflate a future's graph
+// vertices with a top-level agent's: empty strings and "T<digits>".
+func validFutureName(name string) bool {
+	if name == "" {
+		return false
+	}
+	if name[0] != 'T' {
+		return true
+	}
+	digits := name[1:]
+	if digits == "" {
+		return true
+	}
+	for i := 0; i < len(digits); i++ {
+		if digits[i] < '0' || digits[i] > '9' {
+			return true
+		}
+	}
+	return false
 }
 
 // convertObs rewrites an engine observation ("v<ts>" or "w<wid>") into the

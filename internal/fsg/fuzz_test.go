@@ -1,0 +1,89 @@
+package fsg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wtftm/internal/core"
+	"wtftm/internal/history"
+	"wtftm/internal/mvstm"
+)
+
+// engineLogJSON produces a realistic log to seed the corpus.
+func engineLogJSON(tb testing.TB, ord core.Ordering) []byte {
+	tb.Helper()
+	stm := mvstm.New()
+	rec := history.NewRecorder()
+	sys := core.New(stm, core.Options{Ordering: ord, Recorder: rec})
+	x := stm.NewBoxNamed("x", 0)
+	y := stm.NewBoxNamed("y", 0)
+	err := sys.Atomic(func(tx *core.Tx) error {
+		f := tx.Submit(func(tx *core.Tx) (any, error) {
+			tx.Write(y, tx.Read(x))
+			return nil, nil
+		})
+		tx.Write(x, 1)
+		_, _ = tx.Evaluate(f)
+		return nil
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzFromLog feeds arbitrary, truncated and shuffled JSON op logs through
+// the history decoder, FromLog, and Build under both semantics. Malformed
+// input must surface as an error, never as a panic.
+func FuzzFromLog(f *testing.F) {
+	valid := engineLogJSON(f, core.WO)
+	f.Add(valid)
+	f.Add(engineLogJSON(f, core.SO))
+	// Truncations and a shuffle of the valid log.
+	lines := bytes.Split(valid, []byte("\n"))
+	f.Add(bytes.Join(lines[:len(lines)/2], []byte("\n")))
+	if len(lines) > 3 {
+		shuffled := append([][]byte{}, lines...)
+		shuffled[0], shuffled[2] = shuffled[2], shuffled[0]
+		f.Add(bytes.Join(shuffled, []byte("\n")))
+	}
+	// Hand-made adversarial logs: future named like a top agent, future
+	// submitting itself, empty names, bogus kinds and observations.
+	f.Add([]byte(`{"top":1,"flow":0,"kind":0}
+{"top":1,"flow":0,"kind":5,"arg":"T1"}
+{"top":1,"flow":1,"kind":7,"arg":"T1"}
+{"top":1,"flow":1,"kind":8,"arg":"submission"}
+{"top":1,"flow":0,"kind":1,"wid":1}`))
+	f.Add([]byte(`{"top":1,"flow":0,"kind":5,"arg":""}
+{"top":1,"flow":0,"kind":1,"wid":2}`))
+	f.Add([]byte(`{"top":1,"flow":0,"kind":3,"var":"x","obs":"bogus"}
+{"top":1,"flow":0,"kind":1,"wid":3}`))
+	f.Add([]byte(`{"top":1,"flow":0,"kind":-7}
+{"top":1,"flow":0,"kind":99,"wid":9}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := history.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		h, err := FromLog(ops)
+		if err != nil {
+			if !strings.Contains(err.Error(), "fsg:") {
+				t.Fatalf("error without fsg prefix: %v", err)
+			}
+			return
+		}
+		for _, sem := range []Semantics{WOsem, SOsem} {
+			p, err := Build(h, sem)
+			if err != nil {
+				continue
+			}
+			p.Acyclic() // must terminate without panicking
+		}
+	})
+}

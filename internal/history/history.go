@@ -52,7 +52,7 @@ var kindNames = [...]string{
 }
 
 func (k Kind) String() string {
-	if int(k) < len(kindNames) {
+	if k >= 0 && int(k) < len(kindNames) {
 		return kindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", int(k))

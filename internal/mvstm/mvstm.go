@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"wtftm/internal/sched"
 )
 
 // ErrConflict is returned by Commit when read-set validation fails because a
@@ -126,6 +128,10 @@ type STM struct {
 	active     activeShards
 	stats      Stats
 	txnPool    sync.Pool
+	// hook, when non-nil, marks Begin and read-write commit entry as
+	// scheduler preemption points (conformance harness). Set once via
+	// SetSchedHook before the instance is shared.
+	hook sched.Hook
 }
 
 // New returns an empty STM with the clock at zero.
@@ -144,6 +150,12 @@ func New() *STM {
 
 // Stats exposes the instance's counters.
 func (s *STM) Stats() *Stats { return &s.stats }
+
+// SetSchedHook installs a scheduler hook (see internal/sched). It must be
+// called before the STM is shared between goroutines; passing nil is a no-op
+// configuration. The commit pipeline itself needs no Park delegation: helping
+// guarantees any single runnable committer finishes every enqueued request.
+func (s *STM) SetSchedHook(h sched.Hook) { s.hook = h }
 
 // Clock returns the current global commit clock.
 func (s *STM) Clock() int64 { return s.clock.Load() }
@@ -188,6 +200,9 @@ type Txn struct {
 // Begin starts a transaction reading the snapshot identified by the current
 // clock value.
 func (s *STM) Begin() *Txn {
+	if h := s.hook; h != nil {
+		h.Yield(sched.PointSTMBegin, "")
+	}
 	s.stats.Begins.Add(1)
 	t := s.getTxn()
 	t.snap = s.active.register(t.shard, &s.clock)
@@ -256,6 +271,9 @@ func (t *Txn) Commit() error {
 		t.finish()
 		s.stats.ReadOnlyCommits.Add(1)
 		return nil
+	}
+	if h := s.hook; h != nil {
+		h.Yield(sched.PointSTMCommit, "")
 	}
 	err := s.commitWrites(t)
 	t.finish()

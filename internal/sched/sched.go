@@ -1,0 +1,85 @@
+// Package sched defines the scheduler hook interface through which a
+// deterministic concurrency-testing harness (internal/conform) takes control
+// of the WTF-TM engine's interleavings.
+//
+// The engine (internal/core, internal/mvstm) calls Hook methods at every
+// scheduler-relevant boundary — transactional reads and writes, future
+// submission and evaluation, commit entry, and every internal wait. With no
+// hook installed the call sites reduce to one nil check on an options field,
+// so production paths pay nothing (the guard benchmarks in
+// internal/mvstm/bench_test.go pin this down).
+//
+// A hook implementation serializes the managed goroutines: at most one
+// managed task executes engine code at a time, and every context switch
+// happens at a hook point. That turns the schedule into data — a sequence of
+// choices a seeded PCT sampler or a bounded exhaustive explorer can draw,
+// record, and replay.
+package sched
+
+// Point identifies a class of scheduler-relevant engine boundary. The
+// scheduler may preempt the calling task at any Yield point; the set of
+// points bounds the schedules the harness can distinguish.
+type Point uint8
+
+const (
+	// PointTopBegin precedes a top-level transaction attempt.
+	PointTopBegin Point = iota
+	// PointRead precedes a transactional read of a box.
+	PointRead
+	// PointWrite precedes a transactional (buffered) write of a box.
+	PointWrite
+	// PointSubmit precedes spawning a transactional future.
+	PointSubmit
+	// PointFutureBegin is the first action of a future body's goroutine.
+	PointFutureBegin
+	// PointFutureSettle precedes a future's settle/merge classification.
+	PointFutureSettle
+	// PointEvaluate precedes redeeming a future.
+	PointEvaluate
+	// PointCommit precedes the top-level commit protocol (future resolution
+	// plus write-set folding).
+	PointCommit
+	// PointSTMBegin precedes an MV-STM transaction begin (snapshot
+	// acquisition).
+	PointSTMBegin
+	// PointSTMCommit precedes an MV-STM read-write commit (enqueue into the
+	// parallel commit pipeline).
+	PointSTMCommit
+)
+
+var pointNames = [...]string{
+	"topBegin", "read", "write", "submit", "futureBegin", "futureSettle",
+	"evaluate", "commit", "stmBegin", "stmCommit",
+}
+
+func (p Point) String() string {
+	if int(p) < len(pointNames) {
+		return pointNames[p]
+	}
+	return "point(?)"
+}
+
+// Hook is the scheduler's view of the engine. Implementations must be safe
+// for concurrent use: TaskBegin races with the managed task that spawned the
+// goroutine, and Park ready-predicates are evaluated from arbitrary
+// goroutines.
+//
+// Protocol, from the engine's side:
+//
+//   - A goroutine that will call Yield/Park must first call TaskBegin (which
+//     blocks until the scheduler runs it) and must call TaskEnd when it will
+//     make no further hook calls.
+//   - Before starting a goroutine that will call TaskBegin, the running task
+//     calls SpawnExpected, so the scheduler can wait for the registration
+//     instead of racing it.
+//   - Yield marks a preemption point. Park replaces a blocking wait: it
+//     returns only once ready() reports true, and ready must be a cheap,
+//     side-effect-free poll (typically a closed-channel check) that is
+//     monotonic — once true it stays true.
+type Hook interface {
+	Yield(p Point, label string)
+	Park(ready func() bool)
+	SpawnExpected()
+	TaskBegin()
+	TaskEnd()
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"wtftm"
+	"wtftm/internal/client"
+	"wtftm/internal/fsg"
+	"wtftm/internal/wire"
+)
+
+// TestServedWorkloadFSGConformance is the end-to-end conformance check for
+// wtfd: a concurrent MULTI/CAS workload runs against an in-process server
+// with history recording enabled, and the recorded log — covering the real
+// network path, worker pool, per-shard future fan-out and CAS aborts — must
+// yield an acyclic future serialization graph under the ordering the server
+// was configured with.
+func TestServedWorkloadFSGConformance(t *testing.T) {
+	for _, tc := range []struct {
+		ord wtftm.Ordering
+		sem fsg.Semantics
+	}{
+		{wtftm.WO, fsg.WOsem},
+		{wtftm.SO, fsg.SOsem},
+	} {
+		t.Run(tc.ord.String(), func(t *testing.T) {
+			leakCheck(t)
+			rec := wtftm.NewRecorder()
+			s := startServer(t, Config{Shards: 4, Ordering: tc.ord, Recorder: rec})
+
+			// Kept modest on purpose: the polygraph oracle's bipath search
+			// grows quickly with history size, and ~60 transactions already
+			// cover commits, CAS aborts and read-only snapshots.
+			const (
+				accounts = 6
+				initBal  = 50
+				clients  = 2
+				rounds   = 10
+			)
+			seed := newClient(t, s, 1)
+			var init []wire.Cmd
+			for i := 0; i < accounts; i++ {
+				init = append(init, wire.Put(fmt.Sprintf("acct-%d", i), []byte(strconv.Itoa(initBal))))
+			}
+			if _, applied, err := seed.Multi(init); err != nil || !applied {
+				t.Fatalf("seed: applied=%v err=%v", applied, err)
+			}
+
+			// Each client interleaves CAS transfer pairs (some doomed to
+			// mismatch and abort) with full snapshot reads, so the log
+			// contains committed MULTIs, aborted MULTIs and read-only
+			// transactions.
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					cl := client.New(client.Options{Addr: s.Addr().String(), Conns: 1})
+					defer cl.Close()
+					rnd := uint64(c)*2654435761 + 7
+					for i := 0; i < rounds; i++ {
+						rnd = rnd*6364136223846793005 + 1442695040888963407
+						from := int(rnd>>33) % accounts
+						to := (from + 1) % accounts
+						fk, tk := fmt.Sprintf("acct-%d", from), fmt.Sprintf("acct-%d", to)
+
+						reads, applied, err := cl.Multi([]wire.Cmd{wire.Get(fk), wire.Get(tk)})
+						if err != nil || !applied {
+							errs <- fmt.Errorf("read: applied=%v err=%v", applied, err)
+							return
+						}
+						fb, _ := strconv.Atoi(string(reads[0].Val))
+						tb, _ := strconv.Atoi(string(reads[1].Val))
+						if fb == 0 {
+							continue
+						}
+						if _, _, err := cl.Multi([]wire.Cmd{
+							wire.CAS(fk, reads[0].Val, []byte(strconv.Itoa(fb-1))),
+							wire.CAS(tk, reads[1].Val, []byte(strconv.Itoa(tb+1))),
+						}); err != nil {
+							errs <- fmt.Errorf("cas: %v", err)
+							return
+						}
+						var snap []wire.Cmd
+						for a := 0; a < accounts; a++ {
+							snap = append(snap, wire.Get(fmt.Sprintf("acct-%d", a)))
+						}
+						if _, applied, err := cl.Multi(snap); err != nil || !applied {
+							errs <- fmt.Errorf("snapshot: applied=%v err=%v", applied, err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			select {
+			case err := <-errs:
+				t.Fatal(err)
+			default:
+			}
+			st, err := seed.Stats()
+			if err != nil {
+				t.Fatalf("Stats: %v", err)
+			}
+			if st.Engine.FuturesSubmitted == 0 {
+				t.Fatal("workload exercised no futures — conformance check is vacuous")
+			}
+			s.Drain()
+
+			ops := rec.Ops()
+			if len(ops) == 0 {
+				t.Fatal("recorder captured nothing")
+			}
+			h, err := fsg.FromLog(ops)
+			if err != nil {
+				t.Fatalf("FromLog over %d ops: %v", len(ops), err)
+			}
+			p, err := fsg.Build(h, tc.sem)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if !p.Acyclic() {
+				t.Fatalf("served workload produced a cyclic FSG under %s (%d ops)", tc.ord, len(ops))
+			}
+		})
+	}
+}

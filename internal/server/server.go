@@ -62,6 +62,11 @@ type Config struct {
 	// client stops reading is closed rather than allowed to wedge a worker.
 	// Default 30s.
 	WriteTimeout time.Duration
+	// Recorder, when non-nil, captures the engine's totally ordered
+	// operation log so a served workload can be FSG-checked after the fact
+	// (see the end-to-end conformance test). Recording costs one mutex
+	// acquisition per transactional event; leave nil in production.
+	Recorder *wtftm.Recorder
 
 	// execHook, when non-nil, runs at the start of every request execution.
 	// Tests use it to hold requests in flight while exercising Drain.
@@ -144,7 +149,7 @@ type conn struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	stm := wtftm.NewSTM()
-	sys := wtftm.NewSystem(stm, wtftm.Options{Ordering: cfg.Ordering, Atomicity: cfg.Atomicity})
+	sys := wtftm.NewSystem(stm, wtftm.Options{Ordering: cfg.Ordering, Atomicity: cfg.Atomicity, Recorder: cfg.Recorder})
 	return &Server{
 		cfg:   cfg,
 		stm:   stm,

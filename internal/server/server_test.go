@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -213,6 +214,20 @@ func TestMultiSnapshotInvariant(t *testing.T) {
 	var wg sync.WaitGroup
 	errs := make(chan error, writers+readers)
 
+	// The test runs until enough verified work happened, not for a fixed
+	// wall-clock window: workers report applied transfers and consistent
+	// snapshots, and the main goroutine stops the run once both minimums
+	// are met (bounded by a generous deadline).
+	var transfers, snapshots atomic.Int64
+	progress := make(chan struct{}, 1)
+	bump := func(ctr *atomic.Int64) {
+		ctr.Add(1)
+		select {
+		case progress <- struct{}{}:
+		default:
+		}
+	}
+
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -243,13 +258,16 @@ func TestMultiSnapshotInvariant(t *testing.T) {
 				if fb == 0 {
 					continue
 				}
-				_, _, err = cl.Multi([]wire.Cmd{
+				_, applied, err = cl.Multi([]wire.Cmd{
 					wire.CAS(fk, reads[0].Val, []byte(strconv.Itoa(fb-1))),
 					wire.CAS(tk, reads[1].Val, []byte(strconv.Itoa(tb+1))),
 				})
 				if err != nil {
 					errs <- fmt.Errorf("writer cas: %v", err)
 					return
+				}
+				if applied {
+					bump(&transfers)
 				}
 			}
 		}(w)
@@ -285,11 +303,27 @@ func TestMultiSnapshotInvariant(t *testing.T) {
 					errs <- fmt.Errorf("torn snapshot: total = %d, want %d", total, accounts*initBal)
 					return
 				}
+				bump(&snapshots)
 			}
 		}()
 	}
 
-	time.Sleep(300 * time.Millisecond)
+	const minWork = 25
+	deadline := time.After(30 * time.Second)
+	for transfers.Load() < minWork || snapshots.Load() < minWork {
+		select {
+		case <-progress:
+		case err := <-errs:
+			close(stop)
+			wg.Wait()
+			t.Fatal(err)
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			t.Fatalf("stalled: %d transfers, %d snapshots (want %d each)",
+				transfers.Load(), snapshots.Load(), minWork)
+		}
+	}
 	close(stop)
 	wg.Wait()
 	select {

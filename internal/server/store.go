@@ -26,7 +26,10 @@ type store struct {
 func newStore(stm *wtftm.STM, shards, buckets int) *store {
 	st := &store{shards: make([]*tstruct.Map, shards)}
 	for i := range st.shards {
-		st.shards[i] = tstruct.NewMap(stm, buckets)
+		// Unique per-shard box names keep recorded histories (Config.
+		// Recorder) attributable: the FSG oracle must see shard 0's bucket
+		// and shard 1's bucket as different variables.
+		st.shards[i] = tstruct.NewMapNamed(stm, fmt.Sprintf("shard%d", i), buckets)
 	}
 	return st
 }

@@ -33,16 +33,23 @@ type mapEntry struct {
 
 // NewMap creates a map with the given bucket count (rounded up to 1).
 func NewMap(stm *mvstm.STM, buckets int) *Map {
+	return NewMapNamed(stm, "tmap", buckets)
+}
+
+// NewMapNamed is NewMap with a distinct box-name prefix. Instances sharing
+// one history recorder need unique prefixes, or the FSG oracle conflates
+// same-named buckets of different maps into one variable.
+func NewMapNamed(stm *mvstm.STM, name string, buckets int) *Map {
 	if buckets < 1 {
 		buckets = 1
 	}
 	m := &Map{
 		buckets: make([]*mvstm.VBox, buckets),
-		size:    stm.NewBoxNamed("tmap.size", 0),
+		size:    stm.NewBoxNamed(name+".size", 0),
 		seed:    maphash.MakeSeed(),
 	}
 	for i := range m.buckets {
-		m.buckets[i] = stm.NewBoxNamed(fmt.Sprintf("tmap.b%d", i), []mapEntry(nil))
+		m.buckets[i] = stm.NewBoxNamed(fmt.Sprintf("%s.b%d", name, i), []mapEntry(nil))
 	}
 	return m
 }

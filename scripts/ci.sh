@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
-# Tier-1.5 gate: everything tier-1 runs (build + full tests) plus vet and the
+# Tier-1.5 gate: everything tier-1 runs (build + full tests) plus vet, the
 # race detector over the concurrency-critical packages (the lock-free commit
-# pipeline and the futures engine). Run before merging substrate changes.
+# pipeline, the futures engine, and the conformance scheduler), coverage
+# floors for the engine and its oracle, and the wtfconform smoke budget —
+# which must find nothing on the real engine and must find a violation on
+# the fault-injected build. Run before merging substrate changes.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -12,7 +15,35 @@ go test ./...
 echo "== tier-1.5: vet =="
 go vet ./...
 
-echo "== tier-1.5: race (mvstm commit pipeline + core engine + wtfd server/wire) =="
-go test -race ./internal/mvstm/ ./internal/core/ ./internal/server/ ./internal/wire/
+echo "== tier-1.5: race (mvstm + core + conform + wtfd server/wire) =="
+go test -race ./internal/mvstm/ ./internal/core/ ./internal/conform/ ./internal/server/ ./internal/wire/
+
+echo "== tier-1.5: coverage floors (core >= 80%, fsg >= 85%) =="
+check_cover() {
+	pkg=$1
+	floor=$2
+	pct=$(go test -cover "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	if [ -z "$pct" ]; then
+		echo "ci: no coverage reported for $pkg" >&2
+		exit 1
+	fi
+	if [ "${pct%%.*}" -lt "$floor" ]; then
+		echo "ci: coverage of $pkg is ${pct}%, floor is ${floor}%" >&2
+		exit 1
+	fi
+	echo "   $pkg: ${pct}% (floor ${floor}%)"
+}
+check_cover ./internal/core/ 80
+check_cover ./internal/fsg/ 85
+
+echo "== tier-1.5: wtfconform smoke (fixed seeds, clean engine: expect 0 violations) =="
+go run ./cmd/wtfconform -mode dfs -seed 1 -seeds 8 -budget 300
+
+echo "== tier-1.5: wtfconform smoke (conform_fault build: must catch the bug) =="
+if go run -tags conform_fault ./cmd/wtfconform -mode dfs -ordering wo -atomicity lac -seed 1 -seeds 8 -budget 300; then
+	echo "ci: fault-injected engine produced no violation — the oracle is blind" >&2
+	exit 1
+fi
+go test -tags conform_fault -run TestFaultDetected ./internal/conform/
 
 echo "ci: all gates passed"
