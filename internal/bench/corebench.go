@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"wtftm/internal/core"
+	"wtftm/internal/mvstm"
+	"wtftm/internal/workload"
+)
+
+// CoreParams configures the futures-engine hot-path microbenchmark: the
+// cost of Tx.Read, Submit and Evaluate as a function of future-chain depth,
+// boxes touched per sub-transaction, and concurrent top-level flows. It is
+// not a paper figure — it isolates the per-operation overhead the engine
+// adds on top of the MV-STM substrate, which is what Figures 6-9 assume is
+// small ("WTF-TM adds little overhead over plain JVSTM when futures are
+// cheap"). Before the visible-write index, every read paid an
+// O(ancestor-chain) walk, so ns/read grew linearly with Depth.
+type CoreParams struct {
+	// Depths is the x-axis: futures submitted (and evaluated) per
+	// transaction, i.e. the length of the main flow's vertex chain.
+	Depths []int
+	// BoxesPerSubTx is the write-set size of each future body.
+	BoxesPerSubTx []int
+	// Flows is the number of concurrent top-level transactions.
+	Flows []int
+	// Orderings are the semantics to sweep (WO and SO by default).
+	Orderings []core.Ordering
+}
+
+// DefaultCore returns a host-scaled parameter set.
+func DefaultCore(quick bool) CoreParams {
+	p := CoreParams{
+		Depths:        []int{1, 2, 4, 8, 16, 32},
+		BoxesPerSubTx: []int{1, 4},
+		Flows:         []int{1, 4},
+		Orderings:     []core.Ordering{core.WO, core.SO},
+	}
+	if quick {
+		p.Depths = []int{1, 4, 8, 16}
+		p.BoxesPerSubTx = []int{2}
+		p.Flows = []int{1, 2}
+	}
+	return p
+}
+
+// CorePoint is one measurement.
+type CorePoint struct {
+	Ordering string
+	Depth    int
+	Boxes    int
+	Flows    int
+	// TxPerSec is committed top-level transactions per second.
+	TxPerSec float64
+	// NsPerRead is time spent inside continuation Tx.Read bursts divided by
+	// the number of reads (each a first read in a fresh sub-transaction
+	// vertex, so none is satisfied by the per-vertex repeated-read cache).
+	// Timed explicitly around the bursts: submit/evaluate round trips cost
+	// tens of microseconds of goroutine synchronization and would otherwise
+	// drown the read signal in a wall-clock division.
+	NsPerRead float64
+	// MergedAtSubmission / MergedAtEvaluation describe where futures
+	// serialized.
+	MergedAtSubmission int64
+	MergedAtEvaluation int64
+}
+
+// CoreResult is the full sweep.
+type CoreResult struct {
+	Params CoreParams
+	Points []CorePoint
+}
+
+// RunCore sweeps chain depth x boxes-per-subtx x flows for each ordering.
+//
+// Each transaction builds a future chain of the configured depth: level i
+// submits a future that writes the level's private boxes, evaluates it
+// (merging it into the main chain), and then reads the box sets of every
+// level so far — each a first read in the fresh post-evaluate vertex, so
+// the engine must resolve it against the ancestor chain rather than the
+// current vertex's read cache. ns/read over those resolutions is the figure
+// of merit: with an O(ancestor-chain) walk per read it grows linearly with
+// Depth (total read cost O(depth³)); with O(1) resolution it stays flat.
+func RunCore(cfg Config, p CoreParams) (*CoreResult, error) {
+	res := &CoreResult{Params: p}
+	for _, ord := range p.Orderings {
+		for _, flows := range p.Flows {
+			for _, boxes := range p.BoxesPerSubTx {
+				for _, depth := range p.Depths {
+					pt, err := runCorePoint(cfg, ord, depth, boxes, flows)
+					if err != nil {
+						return nil, err
+					}
+					res.Points = append(res.Points, pt)
+					cfg.progress("core %s depth=%d boxes=%d flows=%d done", ord, depth, boxes, flows)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func runCorePoint(cfg Config, ord core.Ordering, depth, boxes, flows int) (CorePoint, error) {
+	stm := mvstm.New()
+	sys := core.New(stm, core.Options{Ordering: ord, Atomicity: core.LAC})
+
+	// Disjoint box sets per flow and per level keep MV-STM commit conflicts
+	// out of the measurement: the point isolates engine-internal costs.
+	grids := make([][]*mvstm.VBox, flows)
+	for fl := range grids {
+		grids[fl] = make([]*mvstm.VBox, depth*boxes)
+		for i := range grids[fl] {
+			grids[fl][i] = stm.NewBox(0)
+		}
+	}
+
+	var contReads, readNanos atomic.Int64
+	_, elapsed, err := measure(flows, cfg.Duration, func(worker int, rng *workload.RNG) (int, error) {
+		grid := grids[worker]
+		err := sys.Atomic(func(tx *core.Tx) error {
+			n, ns := int64(0), int64(0)
+			for lvl := 0; lvl < depth; lvl++ {
+				lvl := lvl
+				f := tx.Submit(func(ftx *core.Tx) (any, error) {
+					for j := 0; j < boxes; j++ {
+						b := grid[lvl*boxes+j]
+						ftx.Write(b, lvl)
+					}
+					return nil, nil
+				})
+				if _, err := tx.Evaluate(f); err != nil {
+					return err
+				}
+				// Read every level written so far from the fresh
+				// post-evaluate vertex: an ancestor-chain resolution per box.
+				t0 := time.Now()
+				for i := 0; i < (lvl+1)*boxes; i++ {
+					_ = tx.Read(grid[i])
+					n++
+				}
+				ns += time.Since(t0).Nanoseconds()
+			}
+			contReads.Add(n)
+			readNanos.Add(ns)
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return 1, nil
+	})
+	if err != nil {
+		return CorePoint{}, err
+	}
+
+	st := sys.Stats().Snapshot()
+	pt := CorePoint{
+		Ordering:           ord.String(),
+		Depth:              depth,
+		Boxes:              boxes,
+		Flows:              flows,
+		TxPerSec:           float64(st.TopCommits) / elapsed.Seconds(),
+		MergedAtSubmission: st.MergedAtSubmission,
+		MergedAtEvaluation: st.MergedAtEvaluation,
+	}
+	if r := contReads.Load(); r > 0 {
+		pt.NsPerRead = float64(readNanos.Load()) / float64(r)
+	}
+	return pt, nil
+}
+
+// Print renders the sweep.
+func (r *CoreResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Futures-engine hot paths: read/submit/evaluate cost vs chain depth")
+	t := newTable("ordering", "flows", "boxes/subtx", "depth", "tx/s", "ns/read", "merge@sub", "merge@eval")
+	for _, pt := range r.Points {
+		t.add(pt.Ordering, fmt.Sprint(pt.Flows), fmt.Sprint(pt.Boxes), fmt.Sprint(pt.Depth),
+			fmt.Sprintf("%.0f", pt.TxPerSec), f(pt.NsPerRead),
+			fmt.Sprint(pt.MergedAtSubmission), fmt.Sprint(pt.MergedAtEvaluation))
+	}
+	t.print(w)
+}

@@ -48,7 +48,7 @@ func buildDetach(f *Future) *detachRec {
 	seenW := make(map[*mvstm.VBox]int)
 	for _, c := range chain(f.vertex) {
 		c.vmu.Lock()
-		for b, obs := range c.reads {
+		for b, obs := range c.reads.all() {
 			if seenR[b] {
 				continue
 			}
@@ -69,7 +69,7 @@ func buildDetach(f *Future) *detachRec {
 				rec.reads = append(rec.reads, detRead{box: b, ver: ver, ok: ok})
 			}
 		}
-		for b, we := range c.writes {
+		for b, we := range c.writes.all() {
 			if i, dup := seenW[b]; dup {
 				rec.writes[i].val = we.val
 				rec.writes[i].wid = we.wid
@@ -140,9 +140,9 @@ func (tx *Tx) evaluateForeign(f *Future) (any, error) {
 	f.mu.Unlock()
 	top.addClaim(f)
 
-	top.mu.Lock()
+	top.lockG()
 	if t := top; t.aborted.Load() {
-		t.mu.Unlock()
+		t.unlockG()
 		panic(&retrySignal{cause: t.abortCause()})
 	}
 	if tx.detachValid(det) {
@@ -151,16 +151,18 @@ func (tx *Tx) evaluateForeign(f *Future) (any, error) {
 		cur := tx.cur
 		cur.vmu.Lock()
 		for _, r := range det.reads {
-			if _, ok := cur.reads[r.box]; !ok {
-				cur.reads[r.box] = readObs{val: r.ver.Value, ver: r.ver}
+			if _, ok := cur.reads.get(r.box); !ok {
+				cur.reads.put(r.box, readObs{val: r.ver.Value, ver: r.ver})
+				cur.readSum |= r.box.Summary()
 			}
 		}
 		for _, w := range det.writes {
-			cur.writes[w.box] = writeEntry{val: w.val, wid: w.wid, flow: cur.flow}
+			cur.writes.put(w.box, writeEntry{val: w.val, wid: w.wid, flow: cur.flow})
+			cur.writeSum |= w.box.Summary()
 		}
 		cur.vmu.Unlock()
 		tx.boundaryLocked()
-		top.mu.Unlock()
+		top.unlockG()
 		top.sys.stats.MergedAtEvaluation.Add(1)
 		top.sys.record(history.Op{Top: top.id, Flow: tx.cur.flow, Kind: history.FutureMerge, Arg: "evaluation/escaped " + f.name()})
 		f.mu.Lock()
@@ -168,7 +170,7 @@ func (tx *Tx) evaluateForeign(f *Future) (any, error) {
 		f.mu.Unlock()
 		return res, nil
 	}
-	top.mu.Unlock()
+	top.unlockG()
 
 	// Stale: re-execute the body at this evaluation point, inside the
 	// evaluating transaction.
@@ -187,19 +189,25 @@ func (tx *Tx) evaluateForeign(f *Future) (any, error) {
 // detachValid reports whether every read of the detached execution is still
 // current at the caller's evaluation point: no ancestor sub-transaction
 // wrote the box, and the version visible at the caller's snapshot is the one
-// the future observed. Caller holds top.mu.
+// the future observed. Ancestor writes resolve through the flow's
+// visible-write index (one lookup per read instead of a chain walk); the
+// current vertex is checked separately since the index excludes it. Caller
+// holds top.mu exclusively.
 func (tx *Tx) detachValid(det *detachRec) bool {
+	tx.refreshVis()
+	cur := tx.cur
 	for _, r := range det.reads {
 		if !r.ok {
 			return false
 		}
-		for v := tx.cur; v != nil; v = v.pred {
-			v.vmu.Lock()
-			_, wrote := v.writes[r.box]
-			v.vmu.Unlock()
-			if wrote {
-				return false
-			}
+		cur.vmu.Lock()
+		_, wrote := cur.writes.get(r.box)
+		cur.vmu.Unlock()
+		if wrote {
+			return false
+		}
+		if _, wrote := tx.vis[r.box]; wrote {
+			return false
 		}
 		if r.box.ReadAt(tx.top.snap) != r.ver {
 			return false

@@ -49,6 +49,7 @@ type Future struct {
 	sys  *System
 	top  *topTx
 	id   int
+	nm   string
 	flow int
 	body func(*Tx) (any, error)
 
@@ -56,6 +57,10 @@ type Future struct {
 	// continuation vertex created alongside it. Guarded by top.mu.
 	vertex *vertex
 	cont   *vertex
+
+	// ftx is the body's Tx handle, created at Submit (under top.mu) so the
+	// flow's visible-write index is registered before the body runs.
+	ftx *Tx
 
 	// prevInFlow is the previously submitted future of the same spawning
 	// flow; under SO semantics this future's merge waits for it (the
@@ -81,8 +86,17 @@ type Future struct {
 	// ordered between this future's observation point and its current
 	// position in G (they arise when the spawning chain merges away and the
 	// future is re-rooted). Both validations treat them as concurrent
-	// writes. Guarded by top.mu.
+	// writes. extraSum is the set's Bloom summary. Guarded by top.mu.
 	extraPathWrites map[*mvstm.VBox]struct{}
+	extraSum        uint64
+
+	// sets caches the read/write box sets of the body's chain. The chain is
+	// frozen once the body finishes (the flow appends no more vertices and
+	// merges never target a completed future's vertices), so the cache
+	// computed when the future settles is reused verbatim by a later
+	// evaluation-point validation; the tail vertex id is kept as a staleness
+	// guard. Guarded by top.mu.
+	sets *chainSets
 
 	state  atomic.Int32
 	result any   // body result; final once state is fMerged
@@ -100,7 +114,10 @@ type Future struct {
 	final    bool
 }
 
-func (f *Future) name() string { return fmt.Sprintf("T%d.F%d", f.top.id, f.id) }
+// nm is the cached display name ("T<top>.F<id>"), fixed at construction;
+// name() is called on every history record and scheduler yield involving the
+// future, so formatting it each time was measurable.
+func (f *Future) name() string { return f.nm }
 
 // Done returns a channel that closes when the future's body has finished
 // executing. Benchmark harnesses use it to evaluate futures out of order as
@@ -117,7 +134,41 @@ func (f *Future) addExtraPathWrites(boxes map[*mvstm.VBox]struct{}) {
 	}
 	for b := range boxes {
 		f.extraPathWrites[b] = struct{}{}
+		f.extraSum |= b.Summary()
 	}
+}
+
+// chainSets holds the read/write box sets of a completed future's chain and
+// their Bloom summaries, cached on the Future (see Future.sets).
+type chainSets struct {
+	tail     int // id of the chain tail at computation time
+	writes   map[*mvstm.VBox]struct{}
+	reads    map[*mvstm.VBox]struct{}
+	writeSum uint64
+	readSum  uint64
+}
+
+// chainSetsLocked returns the (cached) box sets of the future's chain,
+// recomputing only if the chain's tail changed since they were captured.
+// Caller holds top.mu.
+func (f *Future) chainSetsLocked() *chainSets {
+	tail := f.vertex
+	for tail.next != nil {
+		tail = tail.next
+	}
+	if f.sets == nil || f.sets.tail != tail.id {
+		cs := &chainSets{tail: tail.id}
+		cs.writes, cs.writeSum = chainWriteBoxes(f.vertex)
+		cs.reads, cs.readSum = chainReadBoxes(f.vertex, f.flow)
+		f.sets = cs
+	}
+	return f.sets
+}
+
+// extraConflict reports whether the chain read a box in extraPathWrites,
+// summary-gated. Caller holds top.mu.
+func (f *Future) extraConflict(cs *chainSets) bool {
+	return cs.readSum&f.extraSum != 0 && intersects(cs.reads, f.extraPathWrites)
 }
 
 func (f *Future) getState() futState  { return futState(f.state.Load()) }
@@ -132,7 +183,7 @@ func (f *Future) run() {
 		h.TaskBegin()
 		defer h.TaskEnd()
 	}
-	tx := &Tx{top: f.top, cur: f.vertex}
+	tx := f.ftx
 	f.sys.record(history.Op{Top: f.top.id, Flow: f.flow, Kind: history.FutureBegin, Arg: f.name()})
 	res, err, retry := runBody(f.body, tx)
 	close(f.execDone)
@@ -147,11 +198,12 @@ func (f *Future) run() {
 		return
 	}
 	if err != nil {
-		f.top.mu.Lock()
+		f.top.lockG()
+		delete(f.top.flowTx, f.flow)
 		f.top.discardChain(f.vertex)
 		f.err = err
 		f.setState(fUserAborted)
-		f.top.mu.Unlock()
+		f.top.unlockG()
 		f.sys.record(history.Op{Top: f.top.id, Flow: f.flow, Kind: history.FutureAbort, Arg: f.name()})
 		return
 	}
@@ -169,8 +221,11 @@ func (f *Future) run() {
 	}
 
 	top := f.top
-	top.mu.Lock()
-	defer top.mu.Unlock()
+	top.lockG()
+	defer top.unlockG()
+	// The body finished: its Tx resolves no further reads, so its index no
+	// longer needs invalidations.
+	delete(top.flowTx, f.flow)
 	if top.aborted.Load() {
 		f.setState(fStale)
 		return
@@ -189,8 +244,9 @@ func (f *Future) run() {
 		return
 	}
 	f.result = res
-	canMergeAtSubmission := !forwardConflicts(f.cont, chainWriteBoxes(f.vertex), f.vertex) &&
-		!intersects(chainReadBoxes(f.vertex, f.flow), f.extraPathWrites)
+	cs := f.chainSetsLocked()
+	canMergeAtSubmission := !forwardConflicts(f.cont, cs.writes, cs.writeSum, f.vertex) &&
+		!f.extraConflict(cs)
 	if canMergeAtSubmission {
 		top.mergeChain(f.vertex, f.vertex.pred, nil)
 		f.setState(fMerged)
@@ -243,18 +299,18 @@ func (tx *Tx) evaluateLocal(f *Future) (any, error) {
 	top := tx.top
 	for {
 		tx.await(f.settled)
-		top.mu.Lock()
+		top.lockG()
 		if top.aborted.Load() {
-			top.mu.Unlock()
+			top.unlockG()
 			panic(&retrySignal{cause: top.abortCause()})
 		}
 		switch f.getState() {
 		case fUserAborted:
-			top.mu.Unlock()
+			top.unlockG()
 			return nil, f.err
 
 		case fFailed, fStale:
-			top.mu.Unlock()
+			top.unlockG()
 			if top.segMode && f.getState() == fFailed {
 				panic(&segSignal{to: f.submitSegment})
 			}
@@ -264,12 +320,12 @@ func (tx *Tx) evaluateLocal(f *Future) (any, error) {
 			// Idempotent repeated evaluation: return the memoized result.
 			// The evaluation is still a sub-transaction boundary.
 			tx.boundaryLocked()
-			top.mu.Unlock()
+			top.unlockG()
 			return f.result, nil
 
 		case fReexecuting:
 			ch := f.reexecCh
-			top.mu.Unlock()
+			top.unlockG()
 			tx.await(ch)
 			continue
 
@@ -277,30 +333,32 @@ func (tx *Tx) evaluateLocal(f *Future) (any, error) {
 			if f.isInvalidated() {
 				// The future's spawning chain was discarded (e.g. its spawner
 				// aborted): it is cancelled and can never serialize.
-				top.mu.Unlock()
+				top.unlockG()
 				return nil, ErrStaleFuture
 			}
 			{
-				reads := chainReadBoxes(f.vertex, f.flow)
-				conflict, ok := backwardConflicts(tx.cur, f.vertex.pred, reads)
+				cs := f.chainSetsLocked()
+				conflict, ok := backwardConflicts(tx.cur, f.vertex.pred, cs.reads, cs.readSum)
 				if faultSkipBackwardValidation {
 					// conform_fault: pretend backward validation passed. The
 					// conformance harness must flag the resulting histories.
 					conflict = false
 				}
-				if ok && !conflict && !intersects(reads, f.extraPathWrites) {
+				if ok && !conflict && !f.extraConflict(cs) {
 					// Serialize at the evaluation point: merge the chain into
 					// the evaluator's (iCommitting) sub-transaction.
 					cur := tx.cur
 					cur.status = vICommitted
 					top.mergeChain(f.vertex, cur, cur)
+					// The fold just landed the chain's writes in cur, which
+					// becomes a proper ancestor of the next vertex.
+					tx.absorbWrites(cur)
 					next := top.newVertex(cur.flow, cur)
 					tx.cur = next
-					top.gver++
 					f.setState(fMerged)
 					f.sys.stats.MergedAtEvaluation.Add(1)
 					f.sys.record(history.Op{Top: top.id, Flow: f.flow, Kind: history.FutureMerge, Arg: "evaluation"})
-					top.mu.Unlock()
+					top.unlockG()
 					return f.result, nil
 				}
 			}
@@ -311,13 +369,13 @@ func (tx *Tx) evaluateLocal(f *Future) (any, error) {
 			f.setState(fReexecuting)
 			f.reexecCh = make(chan struct{})
 			top.discardChain(f.vertex)
-			top.mu.Unlock()
+			top.unlockG()
 
 			f.sys.stats.FutureReexecutions.Add(1)
 			f.sys.record(history.Op{Top: top.id, Flow: f.flow, Kind: history.FutureAbort, Arg: f.name()})
 			res, err := tx.runInline(f.body, f.name())
 
-			top.mu.Lock()
+			top.lockG()
 			if err != nil {
 				f.err = err
 				f.setState(fUserAborted)
@@ -330,23 +388,23 @@ func (tx *Tx) evaluateLocal(f *Future) (any, error) {
 			}
 			close(f.reexecCh)
 			f.reexecCh = nil
-			top.mu.Unlock()
+			top.unlockG()
 			return res, err
 
 		default:
-			top.mu.Unlock()
+			top.unlockG()
 			panic(fmt.Sprintf("core: future %s settled in state %d", f.name(), f.getState()))
 		}
 	}
 }
 
 // boundaryLocked iCommits the current sub-transaction and starts a new one
-// in the same flow. Caller holds top.mu.
+// in the same flow. Caller holds top.mu exclusively.
 func (tx *Tx) boundaryLocked() {
 	cur := tx.cur
 	cur.status = vICommitted
+	tx.absorbWrites(cur)
 	tx.cur = tx.top.newVertex(cur.flow, cur)
-	tx.top.gver++
 }
 
 // runInline executes body synchronously as a fresh sub-transaction chain
@@ -356,7 +414,7 @@ func (tx *Tx) boundaryLocked() {
 // discarded.
 func (tx *Tx) runInline(body func(*Tx) (any, error), label string) (any, error) {
 	top := tx.top
-	top.mu.Lock()
+	top.lockG()
 	cur := tx.cur
 	cur.status = vICommitted
 	rv := top.newVertex(top.nextFlow(), cur)
@@ -364,18 +422,19 @@ func (tx *Tx) runInline(body func(*Tx) (any, error), label string) (any, error) 
 	// that, if the evaluator is itself a future, its eventual merge folds
 	// the re-execution's effects too (chain() follows next pointers).
 	cur.next = rv
-	top.gver++
-	top.mu.Unlock()
+	sub := &Tx{top: top, cur: rv}
+	top.flowTx[rv.flow] = sub
+	top.unlockG()
 
 	f := top.sys
 	f.record(history.Op{Top: top.id, Flow: rv.flow, Kind: history.FutureBegin, Arg: label})
-	sub := &Tx{top: top, cur: rv}
 	res, err, retry := runBody(body, sub)
 	if retry != nil {
 		panic(retry)
 	}
 
-	top.mu.Lock()
+	top.lockG()
+	delete(top.flowTx, rv.flow)
 	if err != nil {
 		top.discardChain(rv)
 		tx.cur = top.newVertex(cur.flow, cur) // also re-points cur.next
@@ -385,8 +444,19 @@ func (tx *Tx) runInline(body func(*Tx) (any, error), label string) (any, error) 
 		next := top.newVertex(cur.flow, tail)
 		tail.next = next // cross-flow chain splice (see above)
 		tx.cur = next
+		// The inline chain now sits on this flow's ancestor path; adopt the
+		// sub-handle's index (visible-at-tail) plus tail's own writes, or
+		// rebuild lazily if the sub-handle's index isn't current.
+		if sub.visOK.Load() {
+			tx.vis = sub.vis
+			tx.pending = tx.pending[:0]
+			tx.visDirty = false
+			tx.visOK.Store(true)
+			tx.absorbWrites(tail)
+		} else {
+			tx.markDirtyLocked()
+		}
 	}
-	top.gver++
-	top.mu.Unlock()
+	top.unlockG()
 	return res, err
 }

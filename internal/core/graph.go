@@ -59,10 +59,16 @@ type vertex struct {
 	status vstatus
 
 	// Data sets, guarded by vmu (they are read by validators while the
-	// owning flow appends).
-	vmu    sync.Mutex
-	reads  map[*mvstm.VBox]readObs
-	writes map[*mvstm.VBox]writeEntry
+	// owning flow appends). readSum/writeSum are Bloom summaries of the box
+	// fingerprints in the corresponding set: bits are only ever added (the
+	// read fast path's retraction leaves its bit set — a false positive at
+	// worst), so a zero AND against a query summary proves the set disjoint
+	// and lets validators skip the set scan.
+	vmu      sync.Mutex
+	reads    iset[readObs]
+	writes   iset[writeEntry]
+	readSum  uint64
+	writeSum uint64
 
 	// segment is the AtomicSegments segment this vertex belongs to
 	// (inherited from pred; re-stamped at segment boundaries).
@@ -74,19 +80,17 @@ type vertex struct {
 
 func (v *vertex) removed() bool { return v.status == vRemoved }
 
-// newVertex allocates a vertex in flow, linked after pred. Caller holds
-// top.mu.
+// newVertex allocates a vertex in flow, linked after pred. Vertices come
+// from the transaction's slab (see pool.go); their data sets start inline
+// and allocate nothing until they spill. Caller holds top.mu.
 func (t *topTx) newVertex(flow int, pred *vertex) *vertex {
 	t.nextVID++
-	v := &vertex{
-		id:     t.nextVID,
-		flow:   flow,
-		top:    t,
-		pred:   pred,
-		status: vActive,
-		reads:  make(map[*mvstm.VBox]readObs),
-		writes: make(map[*mvstm.VBox]writeEntry),
-	}
+	v := t.allocVertex()
+	v.id = t.nextVID
+	v.flow = flow
+	v.top = t
+	v.pred = pred
+	v.status = vActive
 	if pred != nil {
 		v.segment = pred.segment
 		pred.succs = append(pred.succs, v)
@@ -109,36 +113,40 @@ func chain(v *vertex) []*vertex {
 }
 
 // chainWriteBoxes returns the union of boxes written along the chain rooted
-// at v. Caller holds top.mu.
-func chainWriteBoxes(v *vertex) map[*mvstm.VBox]struct{} {
+// at v, with the set's Bloom summary. Caller holds top.mu.
+func chainWriteBoxes(v *vertex) (map[*mvstm.VBox]struct{}, uint64) {
 	out := make(map[*mvstm.VBox]struct{})
+	var sum uint64
 	for _, c := range chain(v) {
 		c.vmu.Lock()
-		for b := range c.writes {
+		for b := range c.writes.all() {
 			out[b] = struct{}{}
+			sum |= b.Summary()
 		}
 		c.vmu.Unlock()
 	}
-	return out
+	return out, sum
 }
 
 // chainReadBoxes returns the boxes read along the chain rooted at v,
 // excluding reads that observed a write originating in flow self (a future
 // re-reading its own chain's writes never conflicts with reordering the
-// whole chain). Caller holds top.mu.
-func chainReadBoxes(v *vertex, self int) map[*mvstm.VBox]struct{} {
+// whole chain), with the set's Bloom summary. Caller holds top.mu.
+func chainReadBoxes(v *vertex, self int) (map[*mvstm.VBox]struct{}, uint64) {
 	out := make(map[*mvstm.VBox]struct{})
+	var sum uint64
 	for _, c := range chain(v) {
 		c.vmu.Lock()
-		for b, obs := range c.reads {
+		for b, obs := range c.reads.all() {
 			if obs.ver == nil && obs.flow == self {
 				continue
 			}
 			out[b] = struct{}{}
+			sum |= b.Summary()
 		}
 		c.vmu.Unlock()
 	}
-	return out
+	return out, sum
 }
 
 // intersects reports whether the two box sets share an element.
@@ -161,7 +169,7 @@ func intersects(a map[*mvstm.VBox]struct{}, b map[*mvstm.VBox]struct{}) bool {
 // paper's forward validation: serializing a future at its submission point
 // is safe only if no sub-transaction ordered after its continuation observed
 // state the future is about to overwrite. Caller holds top.mu.
-func forwardConflicts(start *vertex, writes map[*mvstm.VBox]struct{}, skip *vertex) bool {
+func forwardConflicts(start *vertex, writes map[*mvstm.VBox]struct{}, wsum uint64, skip *vertex) bool {
 	if len(writes) == 0 {
 		return false
 	}
@@ -175,10 +183,14 @@ func forwardConflicts(start *vertex, writes map[*mvstm.VBox]struct{}, skip *vert
 		}
 		v.vmu.Lock()
 		hit := false
-		for b := range v.reads {
-			if _, ok := writes[b]; ok {
-				hit = true
-				break
+		// Disjoint summaries prove the vertex read none of the boxes; only
+		// scan on a (possibly false-positive) overlap.
+		if v.readSum&wsum != 0 {
+			for b := range v.reads.all() {
+				if _, ok := writes[b]; ok {
+					hit = true
+					break
+				}
 			}
 		}
 		v.vmu.Unlock()
@@ -203,17 +215,19 @@ func forwardConflicts(start *vertex, writes map[*mvstm.VBox]struct{}, skip *vert
 // read none of what they wrote. The second result is false if `until` is not
 // an ancestor of `from` (a structurally invalid evaluation; the caller must
 // re-execute). Caller holds top.mu.
-func backwardConflicts(from, until *vertex, reads map[*mvstm.VBox]struct{}) (conflict, ok bool) {
+func backwardConflicts(from, until *vertex, reads map[*mvstm.VBox]struct{}, rsum uint64) (conflict, ok bool) {
 	for v := from; v != nil; v = v.pred {
 		if v == until {
 			return false, true
 		}
 		v.vmu.Lock()
 		hit := false
-		for b := range v.writes {
-			if _, in := reads[b]; in {
-				hit = true
-				break
+		if v.writeSum&rsum != 0 {
+			for b := range v.writes.all() {
+				if _, in := reads[b]; in {
+					hit = true
+					break
+				}
 			}
 		}
 		v.vmu.Unlock()
@@ -231,7 +245,7 @@ func pathWriteBoxes(from, until *vertex) map[*mvstm.VBox]struct{} {
 	out := make(map[*mvstm.VBox]struct{})
 	for v := from; v != nil && v != until; v = v.pred {
 		v.vmu.Lock()
-		for b := range v.writes {
+		for b := range v.writes.all() {
 			out[b] = struct{}{}
 		}
 		v.vmu.Unlock()
@@ -268,40 +282,14 @@ func (t *topTx) mergeChain(head, target *vertex, evalFrom *vertex) {
 		relocW = pathWriteBoxes(evalFrom, head.pred)
 	}
 
-	// suffix[i] = boxes written by cs[i+1:], i.e. by the chain after the
-	// vertex that spawned a given child.
-	suffix := make([]map[*mvstm.VBox]struct{}, len(cs))
+	// Single reverse pass: when visiting cs[i], acc holds exactly the boxes
+	// written by cs[i+1:] — the chain suffix after the vertex that spawned a
+	// given child. Children are re-rooted and handed their extras here,
+	// before cs[i]'s own writes fold into the accumulator (addExtraPathWrites
+	// copies, so sharing the one mutable accumulator is safe).
 	acc := make(map[*mvstm.VBox]struct{})
 	for i := len(cs) - 1; i >= 0; i-- {
-		snapshot := make(map[*mvstm.VBox]struct{}, len(acc))
-		for b := range acc {
-			snapshot[b] = struct{}{}
-		}
-		suffix[i] = snapshot
-		cs[i].vmu.Lock()
-		for b := range cs[i].writes {
-			acc[b] = struct{}{}
-		}
-		cs[i].vmu.Unlock()
-	}
-
-	for i, c := range cs {
-		c.vmu.Lock()
-		target.vmu.Lock()
-		for b, we := range c.writes {
-			target.writes[b] = we
-		}
-		for b, obs := range c.reads {
-			if _, ok := target.reads[b]; !ok {
-				target.reads[b] = obs
-			}
-			if obs.ver != nil {
-				t.aggReads[b] = struct{}{}
-			}
-		}
-		target.vmu.Unlock()
-		c.vmu.Unlock()
-
+		c := cs[i]
 		for _, child := range c.succs {
 			if inChain[child] || child.removed() {
 				continue
@@ -309,13 +297,44 @@ func (t *topTx) mergeChain(head, target *vertex, evalFrom *vertex) {
 			child.pred = target
 			target.succs = append(target.succs, child)
 			if f := child.fut; f != nil {
-				f.addExtraPathWrites(suffix[i])
+				f.addExtraPathWrites(acc)
 				f.addExtraPathWrites(relocW)
 				if inChain[f.cont] {
 					f.cont = target
 				}
 			}
 		}
+		c.vmu.Lock()
+		for b := range c.writes.all() {
+			acc[b] = struct{}{}
+		}
+		c.vmu.Unlock()
+	}
+
+	// Fold the chain into target, collecting the write patch (chain order,
+	// later writes win — the same precedence the fold applies).
+	patch := make(map[*mvstm.VBox]writeEntry, len(acc))
+	for _, c := range cs {
+		c.vmu.Lock()
+		target.vmu.Lock()
+		for b, we := range c.writes.all() {
+			target.writes.put(b, we)
+			patch[b] = we
+		}
+		for b, obs := range c.reads.all() {
+			if _, ok := target.reads.get(b); !ok {
+				target.reads.put(b, obs)
+			}
+			if obs.ver != nil {
+				t.aggReads[b] = struct{}{}
+			}
+		}
+		// The folded sets are supersets of nothing beyond the union, so the
+		// vertex summaries OR in directly.
+		target.readSum |= c.readSum
+		target.writeSum |= c.writeSum
+		target.vmu.Unlock()
+		c.vmu.Unlock()
 		c.status = vRemoved
 		c.succs = nil
 	}
@@ -327,7 +346,59 @@ func (t *topTx) mergeChain(head, target *vertex, evalFrom *vertex) {
 			}
 		}
 	}
-	t.gver++
+	t.pushMergePatch(patch, target, evalFrom)
+}
+
+// pushMergePatch propagates a merge to the visible-write indexes of the
+// flows it affects: those whose current vertex has target as a proper
+// ancestor. A submission-point merge leaves the graph's shape around the
+// chain unchanged (target is the chain's old predecessor), so affected flows
+// receive the write patch directly — unless a vertex strictly between their
+// current vertex and target wrote one of the patched boxes, in which case
+// the nearer write must keep precedence and the index is rebuilt instead.
+// An evaluation-point merge relocates re-rooted children onto a genuinely
+// different ancestor path, so every affected flow is invalidated. The
+// evaluating flow's own vertex IS target (never a proper ancestor of
+// itself): it updates its index at its boundary via absorbWrites. Caller
+// holds top.mu exclusively.
+func (t *topTx) pushMergePatch(patch map[*mvstm.VBox]writeEntry, target, evalFrom *vertex) {
+	for _, ftx := range t.flowTx {
+		c := ftx.cur
+		if c == nil || c == target {
+			continue
+		}
+		anc, blocked := false, false
+		for v := c.pred; v != nil; v = v.pred {
+			if v == target {
+				anc = true
+				break
+			}
+			if !blocked {
+				v.vmu.Lock()
+				for b := range v.writes.all() {
+					if _, in := patch[b]; in {
+						blocked = true
+						break
+					}
+				}
+				v.vmu.Unlock()
+			}
+		}
+		if !anc {
+			continue
+		}
+		if evalFrom != nil || blocked {
+			ftx.markDirtyLocked()
+			continue
+		}
+		if len(patch) == 0 || ftx.vis == nil || ftx.visDirty {
+			// Nothing to fold, or the index is unbuilt / already awaiting a
+			// full rebuild: the next refreshVis covers it.
+			continue
+		}
+		ftx.pending = append(ftx.pending, patch)
+		ftx.visOK.Store(false)
+	}
 }
 
 // discardChain removes the chain rooted at head without folding its writes
@@ -362,5 +433,16 @@ func (t *topTx) discardChain(head *vertex) {
 			}
 		}
 	}
-	t.gver++
+	// Removed vertices may still be index sources for flows that descended
+	// them, and the discarded writes vanish without a fold: invalidate every
+	// flow's visible-write index.
+	t.invalidateAllVis()
+}
+
+// invalidateAllVis dirties every registered flow's visible-write index.
+// Caller holds top.mu exclusively.
+func (t *topTx) invalidateAllVis() {
+	for _, ftx := range t.flowTx {
+		ftx.markDirtyLocked()
+	}
 }

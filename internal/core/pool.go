@@ -1,0 +1,135 @@
+package core
+
+import (
+	"iter"
+
+	"wtftm/internal/mvstm"
+)
+
+// This file holds the engine's allocation plumbing, mirroring the substrate's
+// internal/mvstm/pool.go: most sub-transactions touch a handful of boxes, so
+// vertex read/write sets keep their first entries inline (no map allocation
+// at all for the common case) and vertices themselves are carved out of
+// per-topTx slabs instead of being allocated one by one. There is
+// deliberately no cross-transaction recycling (no sync.Pool): GAC-escaped
+// futures keep their spawning transaction's vertices reachable after commit,
+// so reusing a vertex's memory for a later transaction could resurrect a
+// detach record's sources. Slabs only amortize allocation; they never reuse.
+
+// isetInline is the inline capacity of an iset. Eight entries cover typical
+// sub-transaction footprints (the paper's workloads touch a few boxes per
+// future); larger sets spill to an ordinary map.
+const isetInline = 8
+
+// iset is a small-footprint box-keyed set: up to isetInline entries are
+// stored inline in the struct, past that it spills to a heap map. The zero
+// value is an empty set. Not safe for concurrent use; callers synchronize
+// exactly as they did for the maps it replaces (vertex.vmu).
+type iset[V any] struct {
+	n    int
+	keys [isetInline]*mvstm.VBox
+	vals [isetInline]V
+	m    map[*mvstm.VBox]V
+}
+
+// size returns the number of entries.
+func (s *iset[V]) size() int {
+	if s.m != nil {
+		return len(s.m)
+	}
+	return s.n
+}
+
+// get returns the value stored for b.
+func (s *iset[V]) get(b *mvstm.VBox) (V, bool) {
+	if s.m != nil {
+		v, ok := s.m[b]
+		return v, ok
+	}
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == b {
+			return s.vals[i], true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts or overwrites the entry for b.
+func (s *iset[V]) put(b *mvstm.VBox, v V) {
+	if s.m != nil {
+		s.m[b] = v
+		return
+	}
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == b {
+			s.vals[i] = v
+			return
+		}
+	}
+	if s.n < isetInline {
+		s.keys[s.n], s.vals[s.n] = b, v
+		s.n++
+		return
+	}
+	s.m = make(map[*mvstm.VBox]V, 2*isetInline)
+	for i := 0; i < s.n; i++ {
+		s.m[s.keys[i]] = s.vals[i]
+		s.keys[i] = nil
+	}
+	s.n = 0
+	s.m[b] = v
+}
+
+// del removes the entry for b, if present.
+func (s *iset[V]) del(b *mvstm.VBox) {
+	if s.m != nil {
+		delete(s.m, b)
+		return
+	}
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == b {
+			s.n--
+			s.keys[i], s.vals[i] = s.keys[s.n], s.vals[s.n]
+			s.keys[s.n] = nil
+			var zero V
+			s.vals[s.n] = zero
+			return
+		}
+	}
+}
+
+// all iterates the entries in unspecified order, like a map range.
+func (s *iset[V]) all() iter.Seq2[*mvstm.VBox, V] {
+	return func(yield func(*mvstm.VBox, V) bool) {
+		if s.m != nil {
+			for b, v := range s.m {
+				if !yield(b, v) {
+					return
+				}
+			}
+			return
+		}
+		for i := 0; i < s.n; i++ {
+			if !yield(s.keys[i], s.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// vertexSlab is the number of vertices carved per slab allocation.
+const vertexSlab = 32
+
+// allocVertex hands out the next vertex from the transaction's slab. The
+// slab's zeroed memory is the vertex's initial state (empty inline sets,
+// zero summaries); callers set identity fields. Caller holds top.mu (or is
+// pre-concurrency).
+func (t *topTx) allocVertex() *vertex {
+	if len(t.vslab) == 0 {
+		t.vslab = make([]vertex, vertexSlab)
+	}
+	v := &t.vslab[0]
+	t.vslab = t.vslab[1:]
+	return v
+}

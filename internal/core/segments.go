@@ -124,17 +124,18 @@ func (s *System) AtomicSegments(segs ...func(tx *Tx) error) error {
 func (t *topTx) runSegments(s *System, segs []func(tx *Tx) error) error {
 	tx := &Tx{top: t, cur: t.root}
 	t.mainTx = tx
+	t.flowTx[0] = tx // pre-concurrency: no lock needed yet
 	lastTarget, repeats := -1, 0
 
 	i := 0
 	for i < len(segs) {
-		t.mu.Lock()
+		t.lockG()
 		t.curSegment = i
 		// Begin the segment on a fresh checkpoint vertex (the root stays an
 		// empty anchor so any segment can be rolled back).
 		tx.boundaryLocked()
 		tx.cur.segment = i
-		t.mu.Unlock()
+		t.unlockG()
 		s.record(history.Op{Top: t.id, Flow: 0, Kind: history.SegStart, WID: int64(i)})
 
 		err, to := t.runOneSegment(segs[i], tx)
@@ -179,11 +180,11 @@ func (t *topTx) runSegments(s *System, segs []func(tx *Tx) error) error {
 func (t *topTx) resumeSegments(s *System, segs []func(tx *Tx) error, from int, tx *Tx) error {
 	i := from
 	for i < len(segs) {
-		t.mu.Lock()
+		t.lockG()
 		t.curSegment = i
 		tx.boundaryLocked()
 		tx.cur.segment = i
-		t.mu.Unlock()
+		t.unlockG()
 		s.record(history.Op{Top: t.id, Flow: 0, Kind: history.SegStart, WID: int64(i)})
 		err, to := t.runOneSegment(segs[i], tx)
 		switch {
@@ -247,8 +248,8 @@ func (t *topTx) runOneSegment(seg func(tx *Tx) error, tx *Tx) (err error, target
 // fresh vertex. Counted conflicts keep their TopInternal accounting from the
 // future side.
 func (t *topTx) rollbackToSegment(k int, tx *Tx) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.lockG()
+	defer t.unlockG()
 	t.clearRollback()
 	if t.aborted.Load() {
 		return &retryError{cause: t.abortCause()}
@@ -299,7 +300,6 @@ func (t *topTx) rollbackToSegment(k int, tx *Tx) error {
 	fresh := t.newVertex(0, newCur)
 	fresh.segment = k
 	tx.cur = fresh
-	t.gver++
 	return nil
 }
 

@@ -200,6 +200,125 @@ func TestGACRandomizedPipelines(t *testing.T) {
 	}
 }
 
+// TestAncestorReadStabilityUnderMerges: the main flow keeps re-reading its
+// own ancestor writes (resolved through the visible-write index's lock-free
+// fast path) while submitted futures merge concurrently, mutating the graph
+// and pushing index patches. Every read must return the value this flow
+// wrote — a merge may never clobber, reorder or hide an ancestor write of an
+// unrelated flow. Run under -race this also exercises the gver seqlock
+// retract path.
+func TestAncestorReadStabilityUnderMerges(t *testing.T) {
+	sys, stm := newSys(WO, LAC)
+	const rounds = 24
+	mine := make([]*mvstm.VBox, rounds)
+	noise := make([]*mvstm.VBox, rounds)
+	for i := range mine {
+		mine[i] = stm.NewBoxNamed(fmt.Sprintf("m%d", i), -1)
+		noise[i] = stm.NewBoxNamed(fmt.Sprintf("n%d", i), -1)
+	}
+	for iter := 0; iter < 8; iter++ {
+		err := sys.Atomic(func(tx *Tx) error {
+			var fs []*Future
+			for i := 0; i < rounds; i++ {
+				tx.Write(mine[i], i)
+				i := i
+				fs = append(fs, tx.Submit(func(ftx *Tx) (any, error) {
+					// The future both generates merge traffic (disjoint write,
+					// serializes at submission) and resolves an ancestor write
+					// through its own lazily built index.
+					ftx.Write(noise[i], i)
+					if got := ftx.Read(mine[i]).(int); got != i {
+						return nil, fmt.Errorf("future %d read mine[%d] = %d", i, i, got)
+					}
+					return nil, nil
+				}))
+				// The submit boundary turned mine[0..i] into ancestor writes;
+				// they must stay stable while the futures merge underneath us.
+				for j := 0; j <= i; j++ {
+					if got := tx.Read(mine[j]).(int); got != j {
+						return fmt.Errorf("round %d: mine[%d] = %d, want %d", i, j, got, j)
+					}
+				}
+			}
+			for _, f := range fs {
+				if _, err := tx.Evaluate(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAncestorReadStabilityAcrossSegmentRollback: concurrent segmented SO
+// transactions conflict on a hot box, forcing partial rollbacks. After each
+// replay the main flow must still see its own earlier-segment write (the
+// surviving prefix stays on the ancestor path) and must NOT see the replayed
+// segment's discarded write from the previous attempt — i.e. rollbacks
+// correctly invalidate the visible-write index.
+func TestAncestorReadStabilityAcrossSegmentRollback(t *testing.T) {
+	sys, stm := newSys(SO, LAC)
+	hot := stm.NewBoxNamed("hot", 0)
+	const workers = 4
+	const perWorker = 4
+	keep := make([]*mvstm.VBox, workers)
+	scratch := make([]*mvstm.VBox, workers)
+	for g := range keep {
+		keep[g] = stm.NewBoxNamed(fmt.Sprintf("keep%d", g), 0)
+		scratch[g] = stm.NewBoxNamed(fmt.Sprintf("scratch%d", g), 0)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := sys.AtomicSegments(
+					func(tx *Tx) error {
+						tx.Write(keep[g], 7)
+						return nil
+					},
+					func(tx *Tx) error {
+						// A previous attempt of this segment wrote 1 and was
+						// rolled back; the discarded write must be invisible.
+						if got := tx.Read(scratch[g]).(int); got != 0 {
+							return fmt.Errorf("discarded segment write visible: scratch[%d] = %d", g, got)
+						}
+						tx.Write(scratch[g], 1)
+						f := tx.Submit(func(ftx *Tx) (any, error) {
+							ftx.Write(hot, ftx.Read(hot).(int)+1)
+							return nil, nil
+						})
+						_ = tx.Read(hot) // conflict-prone continuation read
+						// The prefix segment survives every rollback of this
+						// one: its write stays on the ancestor path.
+						if got := tx.Read(keep[g]).(int); got != 7 {
+							return fmt.Errorf("ancestor write lost: keep[%d] = %d, want 7", g, got)
+						}
+						_, err := tx.Evaluate(f)
+						return err
+					},
+					func(tx *Tx) error {
+						tx.Write(scratch[g], 0) // restore for the next iteration
+						return nil
+					},
+				)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := readInt(t, stm, hot); got != workers*perWorker {
+		t.Fatalf("hot = %d, want %d", got, workers*perWorker)
+	}
+}
+
 // TestMixedSemanticsSystemsShareSTM: two engines with different semantics
 // over the same STM interoperate through committed state.
 func TestMixedSemanticsSystemsShareSTM(t *testing.T) {

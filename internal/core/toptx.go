@@ -30,9 +30,14 @@ type topTx struct {
 	snap int64
 
 	// mu guards the graph G (topology, statuses, flow/future registries)
-	// and aggReads. gver is bumped on every topology mutation.
+	// and aggReads. gver is the graph's seqlock epoch: lockG bumps it to odd
+	// on entry to every exclusive section and unlockG bumps it back to even,
+	// so a lock-free reader that observes the same even value before and
+	// after its lookups has seen a quiescent graph (the counter is monotonic,
+	// so there is no ABA). It doubles as the version key for the per-future
+	// validation caches.
 	mu          sync.RWMutex
-	gver        int64
+	gver        atomic.Int64
 	root        *vertex
 	nextVID     int
 	flowSeq     int
@@ -40,6 +45,14 @@ type topTx struct {
 	futures     []*Future
 	allVertices []*vertex
 	aggReads    map[*mvstm.VBox]struct{}
+	// vslab is the remainder of the current vertex slab (see pool.go).
+	vslab []vertex
+
+	// flowTx registers the live Tx handle of each flow (under mu), so graph
+	// mutations can push visible-write-index patches and invalidations to
+	// the flows they affect (see tx.go). Entries of settled flows linger
+	// harmlessly until removed.
+	flowTx map[int]*Tx
 
 	// mainTx is the Tx handle of the main flow; commit folds from its
 	// current vertex.
@@ -98,6 +111,7 @@ func (s *System) newTop() *topTx {
 		snap:       txn.Snapshot(),
 		lastInFlow: make(map[int]*Future),
 		aggReads:   make(map[*mvstm.VBox]struct{}),
+		flowTx:     make(map[int]*Tx),
 		abortCh:    make(chan struct{}),
 		commitCh:   make(chan struct{}),
 	}
@@ -109,6 +123,21 @@ func (s *System) newTop() *topTx {
 }
 
 func (t *topTx) nextFlow() int { t.flowSeq++; return t.flowSeq }
+
+// lockG opens an exclusive graph mutation epoch: the seqlock counter goes
+// odd BEFORE any validation scan or mutation inside the section, so a
+// lock-free reader racing with the section always observes the epoch (see
+// Tx.Read). unlockG closes it. Every t.mu.Lock in the package goes through
+// this pair.
+func (t *topTx) lockG() {
+	t.mu.Lock()
+	t.gver.Add(1)
+}
+
+func (t *topTx) unlockG() {
+	t.gver.Add(1)
+	t.mu.Unlock()
+}
 
 func (t *topTx) phaseAtLeast(p phase) bool { return t.phase.Load() >= p }
 
@@ -163,6 +192,7 @@ func (t *topTx) awaitQuiescent() {
 func (t *topTx) run(fn func(tx *Tx) (any, error)) (val any, err error) {
 	tx := &Tx{top: t, cur: t.root}
 	t.mainTx = tx
+	t.flowTx[0] = tx // pre-concurrency: no lock needed yet
 	val, err, retry := runBody(fn, tx)
 	if retry != nil {
 		return nil, &retryError{cause: retry.cause}
@@ -193,15 +223,21 @@ func (t *topTx) commit() (err error) {
 	waitAll := sys.opts.Ordering == SO || sys.opts.Atomicity == LAC
 	if waitAll {
 		// Implicit evaluations may re-execute bodies that submit new
-		// futures, so iterate by index against the live slice.
+		// futures, so the registry can grow while we drain it. Snapshot the
+		// slice once per growth epoch (slice headers are stable; appends
+		// under t.mu never mutate the prefix) instead of locking on every
+		// iteration.
+		var fs []*Future
 		for i := 0; ; i++ {
-			t.mu.Lock()
-			if i >= len(t.futures) {
-				t.mu.Unlock()
-				break
+			if i >= len(fs) {
+				t.mu.RLock()
+				fs = t.futures
+				t.mu.RUnlock()
+				if i >= len(fs) {
+					break
+				}
 			}
-			f := t.futures[i]
-			t.mu.Unlock()
+			f := fs[i]
 
 			if waitAny2(sys.opts.Hook, f.settled, t.abortCh) == 1 {
 				return &retryError{cause: t.abortCause()}
@@ -236,7 +272,7 @@ func (t *topTx) commit() (err error) {
 	}
 
 	// Fold the main chain into the MV-STM transaction.
-	t.mu.Lock()
+	t.lockG()
 	t.phase.Store(phaseFolding)
 	var mainChain []*vertex
 	for v := t.mainTx.cur; v != nil; v = v.pred {
@@ -246,12 +282,12 @@ func (t *topTx) commit() (err error) {
 	for i := len(mainChain) - 1; i >= 0; i-- {
 		v := mainChain[i]
 		v.vmu.Lock()
-		for b, obs := range v.reads {
+		for b, obs := range v.reads.all() {
 			if obs.ver != nil {
 				t.txn.NoteRead(b)
 			}
 		}
-		for b, we := range v.writes {
+		for b, we := range v.writes.all() {
 			t.txn.Write(b, we.val)
 			t.finalWID[b] = we.wid
 		}
@@ -266,7 +302,7 @@ func (t *topTx) commit() (err error) {
 			escaped++
 		}
 	}
-	t.mu.Unlock()
+	t.unlockG()
 
 	// Keep the snapshot readable for still-running escaped futures, then
 	// release it once every future settled. Pinning through the live Txn

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"sync/atomic"
 
 	"wtftm/internal/history"
 	"wtftm/internal/mvstm"
@@ -16,6 +18,97 @@ import (
 type Tx struct {
 	top *topTx
 	cur *vertex
+
+	// Visible-write index: box -> the nearest iCommitted proper ancestor's
+	// write, i.e. what a first read of the box in cur resolves to before
+	// falling back to the top-level snapshot. The map is touched only by the
+	// owning flow's goroutine, so it needs no lock of its own; graph
+	// mutations on other flows communicate through pending/visDirty (written
+	// under top.mu held exclusively, consumed by the owner under at least
+	// top.mu.RLock — the two can never overlap) and flip visOK, which the
+	// lock-free read path checks under the gver seqlock.
+	vis map[*mvstm.VBox]writeEntry
+	// pending holds merge patches (chain write sets folded into a proper
+	// ancestor with no intervening same-path writes) to fold into vis, in
+	// merge order.
+	pending []map[*mvstm.VBox]writeEntry
+	// visDirty forces a full rebuild: the ancestor path itself changed
+	// (discard, segment rollback, re-rooting at an evaluation point).
+	visDirty bool
+	// visOK is true iff vis is built, pending is empty and visDirty is
+	// unset. Owner stores true under (R)Lock; mutators store false under
+	// Lock; the lock-free fast path loads it.
+	visOK atomic.Bool
+}
+
+// markDirtyLocked invalidates the flow's index. Caller holds top.mu
+// exclusively (or is the owner before any concurrency).
+func (tx *Tx) markDirtyLocked() {
+	tx.visDirty = true
+	tx.visOK.Store(false)
+}
+
+// refreshVis brings the index up to date: fold pending merge patches in
+// order, or rebuild from the ancestor chain when the path itself changed.
+// Only the owning flow calls it, holding at least top.mu.RLock.
+func (tx *Tx) refreshVis() {
+	if tx.visOK.Load() {
+		return
+	}
+	if tx.vis != nil && !tx.visDirty {
+		for _, p := range tx.pending {
+			for b, we := range p {
+				tx.vis[b] = we
+			}
+		}
+		tx.pending = tx.pending[:0]
+		tx.visOK.Store(true)
+		return
+	}
+	tx.visDirty = false
+	tx.pending = tx.pending[:0]
+	if tx.vis == nil {
+		tx.vis = make(map[*mvstm.VBox]writeEntry)
+	} else {
+		clear(tx.vis)
+	}
+	// Nearest ancestor wins: walk upward, keep the first write per box.
+	for v := tx.cur.pred; v != nil; v = v.pred {
+		v.vmu.Lock()
+		for b, we := range v.writes.all() {
+			if _, ok := tx.vis[b]; !ok {
+				tx.vis[b] = we
+			}
+		}
+		v.vmu.Unlock()
+	}
+	tx.visOK.Store(true)
+}
+
+// absorbWrites folds a just-iCommitted vertex's write set into the index
+// (the vertex becomes a proper ancestor of the flow's next vertex). Called
+// by the owner at sub-transaction boundaries, holding top.mu exclusively;
+// v's writes are frozen at that point so reading them unlocked is safe.
+func (tx *Tx) absorbWrites(v *vertex) {
+	switch {
+	case tx.visOK.Load():
+		for b, we := range v.writes.all() {
+			tx.vis[b] = we
+		}
+	case tx.vis != nil && !tx.visDirty:
+		// Pending-mode: vis ⊕ pending must stay equal to the true visible
+		// set. v is nearer than any pending merge's target, so its writes
+		// fold last; copied because v's set can later mutate (v may itself
+		// become a merge target) while the patch waits.
+		if v.writes.size() > 0 {
+			cp := make(map[*mvstm.VBox]writeEntry, v.writes.size())
+			for b, we := range v.writes.all() {
+				cp[b] = we
+			}
+			tx.pending = append(tx.pending, cp)
+		}
+		// Dirty or unbuilt: the next refreshVis rebuild covers v.
+	}
 }
 
 // System returns the engine this transaction runs on.
@@ -116,59 +209,100 @@ func (tx *Tx) Read(b *mvstm.VBox) any {
 	tx.checkAlive()
 	top := tx.top
 	cur := tx.cur
-	top.mu.RLock()
 
+	// Own-vertex hits need no graph lock at all: cur's data maps are only
+	// mutated by this flow (merges target either iCommitted ancestors or the
+	// evaluator's own vertex, never another flow's active vertex).
 	cur.vmu.Lock()
-	if we, ok := cur.writes[b]; ok {
+	if we, ok := cur.writes.get(b); ok {
 		cur.vmu.Unlock()
-		top.mu.RUnlock()
 		return we.val
 	}
-	if obs, ok := cur.reads[b]; ok {
+	if obs, ok := cur.reads.get(b); ok {
 		cur.vmu.Unlock()
-		top.mu.RUnlock()
 		return obs.val
 	}
 	cur.vmu.Unlock()
 
-	var obs readObs
-	found := false
-	for a := cur.pred; a != nil; a = a.pred {
-		a.vmu.Lock()
-		if we, ok := a.writes[b]; ok {
+	// Ancestor resolution, lock-free fast path: all proper ancestors are
+	// iCommitted and therefore frozen, so when the flow's visible-write
+	// index is current one map lookup (or a lock-free snapshot read)
+	// resolves the read. The gver seqlock validates the window: if no
+	// mutation epoch overlapped [s, recheck], the index was current and
+	// every later validator will observe the read we just recorded (it must
+	// bump gver before scanning). On a race the tentative read is retracted
+	// — a validator may have glimpsed it, which is conservative-safe (at
+	// worst a spurious parked future or re-execution).
+	if s := top.gver.Load(); s&1 == 0 && tx.visOK.Load() {
+		var obs readObs
+		if we, ok := tx.vis[b]; ok {
 			obs = readObs{val: we.val, flow: we.flow, wid: we.wid}
-			found = true
+		} else {
+			ver := b.ReadAt(top.snap)
+			obs = readObs{val: ver.Value, ver: ver}
 		}
-		a.vmu.Unlock()
-		if found {
-			break
+		cur.vmu.Lock()
+		cur.reads.put(b, obs)
+		cur.readSum |= b.Summary()
+		cur.vmu.Unlock()
+		if top.gver.Load() == s {
+			tx.recordRead(cur, b, obs)
+			return obs.val
 		}
+		cur.vmu.Lock()
+		// Only this flow inserts into cur.reads, so the retraction removes
+		// exactly the tentative entry. The summary bit stays set — summaries
+		// only ever over-approximate.
+		cur.reads.del(b)
+		cur.vmu.Unlock()
 	}
-	if !found {
+
+	top.mu.RLock()
+	tx.refreshVis()
+	var obs readObs
+	if we, ok := tx.vis[b]; ok {
+		obs = readObs{val: we.val, flow: we.flow, wid: we.wid}
+	} else {
 		ver := b.ReadAt(top.snap)
 		obs = readObs{val: ver.Value, ver: ver}
 	}
 	cur.vmu.Lock()
-	// Re-check: the flow itself cannot have raced, but keep the first
-	// observation if one was registered between the unlock and here.
-	if prev, ok := cur.reads[b]; ok {
+	// Keep the first observation if one was registered in the meantime (a
+	// merge may have folded a read into cur while we resolved).
+	if prev, ok := cur.reads.get(b); ok {
 		obs = prev
 	} else {
-		cur.reads[b] = obs
+		cur.reads.put(b, obs)
+		cur.readSum |= b.Summary()
 	}
 	cur.vmu.Unlock()
 	top.mu.RUnlock()
 
-	if top.sys.opts.Recorder != nil {
-		o := history.Op{Top: top.id, Flow: cur.flow, Kind: history.Read, Var: b.Name}
-		if obs.ver != nil {
-			o.Obs = fmt.Sprintf("v%d", obs.ver.TS)
-		} else {
-			o.Obs = fmt.Sprintf("w%d", obs.wid)
-		}
-		top.sys.record(o)
-	}
+	tx.recordRead(cur, b, obs)
 	return obs.val
+}
+
+// recordRead emits a history op for a first read, when recording is on. The
+// observation tag is formatted with strconv on a stack buffer: fmt.Sprintf's
+// interface boxing and verb parsing showed up in read-path profiles even
+// though recording is off on the benchmark configurations that exercise it.
+func (tx *Tx) recordRead(cur *vertex, b *mvstm.VBox, obs readObs) {
+	top := tx.top
+	if top.sys.opts.Recorder == nil {
+		return
+	}
+	var buf [21]byte
+	var tag []byte
+	if obs.ver != nil {
+		tag = append(buf[:0], 'v')
+		tag = strconv.AppendInt(tag, obs.ver.TS, 10)
+	} else {
+		tag = append(buf[:0], 'w')
+		tag = strconv.AppendInt(tag, obs.wid, 10)
+	}
+	top.sys.record(history.Op{
+		Top: top.id, Flow: cur.flow, Kind: history.Read, Var: b.Name, Obs: string(tag),
+	})
 }
 
 // Write buffers a write of v to b in the current sub-transaction. It
@@ -180,7 +314,8 @@ func (tx *Tx) Write(b *mvstm.VBox, v any) {
 	tx.checkAlive()
 	wid := tx.top.sys.nextWID()
 	tx.cur.vmu.Lock()
-	tx.cur.writes[b] = writeEntry{val: v, wid: wid, flow: tx.cur.flow}
+	tx.cur.writes.put(b, writeEntry{val: v, wid: wid, flow: tx.cur.flow})
+	tx.cur.writeSum |= b.Summary()
 	tx.cur.vmu.Unlock()
 	if tx.top.sys.opts.Recorder != nil {
 		tx.top.sys.record(history.Op{
@@ -201,7 +336,7 @@ func (tx *Tx) Submit(body func(*Tx) (any, error)) *Future {
 	top := tx.top
 	sys := top.sys
 
-	top.mu.Lock()
+	top.lockG()
 	spawner := tx.cur
 	spawner.status = vICommitted
 	fv := top.newVertex(top.nextFlow(), spawner)
@@ -214,6 +349,7 @@ func (tx *Tx) Submit(body func(*Tx) (any, error)) *Future {
 		sys:           sys,
 		top:           top,
 		id:            len(top.futures) + 1,
+		nm:            fmt.Sprintf("T%d.F%d", top.id, len(top.futures)+1),
 		flow:          fv.flow,
 		body:          body,
 		vertex:        fv,
@@ -223,12 +359,19 @@ func (tx *Tx) Submit(body func(*Tx) (any, error)) *Future {
 		settled:       make(chan struct{}),
 	}
 	fv.fut = f
+	// The body's Tx is created here (not in run) so invalidations reach its
+	// visible-write index from the first instant; its index itself builds
+	// lazily on the body's first ancestor-resolving read.
+	f.ftx = &Tx{top: top, cur: fv}
+	top.flowTx[fv.flow] = f.ftx
 	f.prevInFlow = top.lastInFlow[spawner.flow]
 	top.lastInFlow[spawner.flow] = f
 	top.futures = append(top.futures, f)
-	top.gver++
+	// The spawner just iCommitted: its writes become visible to the
+	// continuation.
+	tx.absorbWrites(spawner)
 	tx.cur = cv
-	top.mu.Unlock()
+	top.unlockG()
 	top.addOutstanding()
 
 	sys.stats.FuturesSubmitted.Add(1)

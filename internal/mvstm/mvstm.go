@@ -62,9 +62,22 @@ type VBox struct {
 	// this, a single long-lived snapshot (which legitimately pins every newer
 	// version) degrades every commit on a hot box to a full-chain scan.
 	trimmedAt atomic.Int64
+	// sum is the box's Bloom fingerprint: two bits of a 64-bit word, fixed at
+	// creation. Conflict detectors OR the fingerprints of a set of boxes into
+	// a summary word; two sets with non-intersecting summaries provably share
+	// no box, so a zero AND lets validators skip a scan entirely.
+	sum uint64
 	// Name is an optional debugging label.
 	Name string
 }
+
+// boxSeq numbers boxes across all STM instances; each box's fingerprint is
+// derived from its sequence number so fingerprints are well distributed
+// without hashing pointers.
+var boxSeq atomic.Uint64
+
+// Summary returns the box's two-bit Bloom fingerprint.
+func (b *VBox) Summary() uint64 { return b.sum }
 
 // ReadAt returns the newest committed version with TS <= snap. It is safe to
 // call concurrently with commits and never blocks. It panics if snap predates
@@ -167,6 +180,10 @@ func (s *STM) NewBox(init any) *VBox { return s.NewBoxNamed("", init) }
 // NewBoxNamed is NewBox with a debugging label.
 func (s *STM) NewBoxNamed(name string, init any) *VBox {
 	b := &VBox{Name: name}
+	// splitmix64-style scramble of the box sequence number picks the two
+	// fingerprint bits.
+	h := boxSeq.Add(1) * 0x9E3779B97F4A7C15
+	b.sum = 1<<(h&63) | 1<<((h>>6)&63)
 	b.head.Store(&Version{Value: init, TS: 0})
 	return b
 }

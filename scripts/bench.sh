@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Record the mvstm micro-benchmarks (commit contention, begin/finish) into
-# BENCH_mvstm.json, and the wtfd end-to-end sweep (wtfbench -exp server)
-# into BENCH_server.json, so successive PRs accumulate a perf trajectory.
+# BENCH_mvstm.json, the wtfd end-to-end sweep (wtfbench -exp server) into
+# BENCH_server.json, and the futures-engine hot-path benchmarks (ReadDepth/
+# SubmitEvaluate/ValidateWide + wtfbench -exp core) into BENCH_core.json,
+# so successive PRs accumulate a perf trajectory.
 #
 # Usage: scripts/bench.sh <label> [benchtime]
 #   label      name of this measurement (e.g. "seed", "commit-pipeline")
@@ -69,3 +71,42 @@ fi
 
 echo "recorded '$LABEL' into $SRVOUT:"
 printf '%s\n' "$SRVRES" | jq -c '.Points[0], .Points[-1]'
+
+# --- futures-engine hot paths ----------------------------------------------
+COREOUT=BENCH_core.json
+CORERAW=$(go test -run '^$' -bench 'BenchmarkReadDepth|BenchmarkSubmitEvaluate|BenchmarkValidateWide' \
+	-benchtime "$BENCHTIME" -benchmem ./internal/bench/)
+
+COREENTRIES=$(printf '%s\n' "$CORERAW" | awk '
+	/^Benchmark/ {
+		name = $1; iters = $2; ns = $3; bop = ""; allocs = ""
+		for (i = 4; i <= NF; i++) {
+			if ($(i) == "B/op")      bop = $(i-1)
+			if ($(i) == "allocs/op") allocs = $(i-1)
+		}
+		printf "{\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", name, iters, ns
+		if (bop != "")    printf ",\"b_per_op\":%s", bop
+		if (allocs != "") printf ",\"allocs_per_op\":%s", allocs
+		print "}"
+	}' | jq -s .)
+
+CORERES=$(go run ./cmd/wtfbench -exp core -quick -duration 150ms -json | jq '.result')
+
+COREMETA=$(jq -n \
+	--arg lbl "$LABEL" \
+	--arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	--arg rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+	--arg go "$(go version | awk '{print $3}')" \
+	--argjson cpus "$(nproc)" \
+	--argjson benches "$COREENTRIES" \
+	--argjson sweep "$CORERES" \
+	'{"label":$lbl,"date":$date,"rev":$rev,"go":$go,"cpus":$cpus,"benches":$benches,"sweep":$sweep}')
+
+if [ -f "$COREOUT" ]; then
+	jq --argjson entry "$COREMETA" '. + [$entry]' "$COREOUT" >"$COREOUT.tmp" && mv "$COREOUT.tmp" "$COREOUT"
+else
+	jq -n --argjson entry "$COREMETA" '[$entry]' >"$COREOUT"
+fi
+
+echo "recorded '$LABEL' into $COREOUT:"
+printf '%s\n' "$CORERAW" | grep '^Benchmark' || true

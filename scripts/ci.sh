@@ -39,6 +39,15 @@ check_cover ./internal/fsg/ 85
 echo "== tier-1.5: wtfconform smoke (fixed seeds, clean engine: expect 0 violations) =="
 go run ./cmd/wtfconform -mode dfs -seed 1 -seeds 8 -budget 300
 
+echo "== tier-1.5: wtfconform deep-chain smoke (nesting depth 4: long ancestor paths) =="
+# Deeply nested futures build the long pred chains the visible-write index,
+# merge patches and validation summaries optimize; this sweep pins their
+# conformance on the schedules where those caches are most stressed.
+go run ./cmd/wtfconform -mode dfs -seed 1 -seeds 4 -budget 300 -futures 2 -depth 4 -ops 8
+
+echo "== tier-1.5: guard benchmarks (smoke run: hot paths must still complete) =="
+go test -run '^$' -bench 'ReadDepth|BeginFinish' -benchtime 200ms ./internal/bench/ ./internal/mvstm/
+
 echo "== tier-1.5: wtfconform smoke (conform_fault build: must catch the bug) =="
 if go run -tags conform_fault ./cmd/wtfconform -mode dfs -ordering wo -atomicity lac -seed 1 -seeds 8 -budget 300; then
 	echo "ci: fault-injected engine produced no violation — the oracle is blind" >&2
