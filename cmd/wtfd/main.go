@@ -5,13 +5,23 @@
 //
 // Usage:
 //
-//	wtfd [-listen addr] [-shards n] [-buckets n] [-workers n]
+//	wtfd [-listen addr] [-shards n] [-buckets n] [-executors n]
+//	     [-group-limit n] [-flush-window d] [-writer-queue n]
 //	     [-ordering wo|so] [-atomicity lac|gac] [-stats interval]
+//	     [-pprof addr]
 //
 // The -ordering flag selects the future semantics MULTI batches run under:
 // wo (weakly ordered, the paper's WTF-TM) or so (strongly ordered, the JTF
 // baseline). -stats periodically prints the server/engine/substrate counter
 // snapshot — the same document the STATS wire op returns — to stderr.
+//
+// -executors sizes the shard-affine executor pool (each executor owns a
+// subset of shards and serializes their single-key requests); -group-limit
+// and -flush-window bound group commit (how many consecutive single-key
+// commands one executor may coalesce into a single transaction, and how
+// long it may hold an open group waiting for more); -writer-queue sets the
+// per-connection response queue depth. -pprof serves net/http/pprof on the
+// given address for live profiling.
 //
 // wtfd shuts down gracefully on SIGINT/SIGTERM: it refuses new connections,
 // completes in-flight transactions, flushes their responses, then exits.
@@ -21,6 +31,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers, served via -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,17 +44,28 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
-		shards    = flag.Int("shards", 16, "store shard count (MULTI fan-out width)")
-		buckets   = flag.Int("buckets", 64, "hash buckets per shard")
-		workers   = flag.Int("workers", 0, "request worker pool size (0 = 4×GOMAXPROCS)")
-		ordering  = flag.String("ordering", "wo", "futures ordering semantics: wo|so")
-		atomicity = flag.String("atomicity", "lac", "escaping-future atomicity: lac|gac")
-		stats     = flag.Duration("stats", 0, "print counter snapshots at this interval (0 = off)")
+		listen      = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+		shards      = flag.Int("shards", 16, "store shard count (MULTI fan-out width)")
+		buckets     = flag.Int("buckets", 64, "hash buckets per shard")
+		executors   = flag.Int("executors", 0, "shard-affine executor count (0 = GOMAXPROCS, capped at shards)")
+		groupLimit  = flag.Int("group-limit", 0, "max single-key ops coalesced per group commit (0 = default 32, 1 = disable)")
+		flushWindow = flag.Duration("flush-window", 0, "how long an executor holds an open group waiting for more ops (0 = never wait)")
+		writerQueue = flag.Int("writer-queue", 0, "per-connection response queue depth (0 = default 64)")
+		ordering    = flag.String("ordering", "wo", "futures ordering semantics: wo|so")
+		atomicity   = flag.String("atomicity", "lac", "escaping-future atomicity: lac|gac")
+		stats       = flag.Duration("stats", 0, "print counter snapshots at this interval (0 = off)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
-	cfg := server.Config{Shards: *shards, Buckets: *buckets, Workers: *workers}
+	cfg := server.Config{
+		Shards:      *shards,
+		Buckets:     *buckets,
+		Executors:   *executors,
+		GroupLimit:  *groupLimit,
+		FlushWindow: *flushWindow,
+		WriterQueue: *writerQueue,
+	}
 	switch *ordering {
 	case "wo":
 		cfg.Ordering = wtftm.WO
@@ -60,6 +83,15 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "wtfd: unknown -atomicity %q\n", *atomicity)
 		os.Exit(2)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "wtfd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "wtfd: pprof: %v\n", err)
+			}
+		}()
 	}
 
 	s := server.New(cfg)

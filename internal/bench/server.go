@@ -16,11 +16,13 @@ import (
 
 // ServerParams configures the wtfd end-to-end experiment: a closed-loop
 // load generator against an in-process server on the loopback interface,
-// sweeping client counts and MULTI batch sizes under WO and SO futures.
-// It is not a paper figure — it measures the paper's semantics axis as an
-// operator-visible serving knob: how much does weakly ordered fan-out buy a
-// networked request once protocol framing, scheduling and the commit
-// pipeline are all in the path?
+// sweeping client counts, per-connection pipeline depth and MULTI batch
+// sizes under WO and SO futures, plus the serving stack's tuning surface
+// (shard-affine executor count × group-commit flush window) at the highest
+// client count. It is not a paper figure — it measures the paper's
+// semantics axis as an operator-visible serving knob: how much does weakly
+// ordered fan-out buy a networked request once protocol framing, scheduling
+// and the commit pipeline are all in the path?
 type ServerParams struct {
 	// Clients is the x-axis: concurrent closed-loop clients, one pipelined
 	// connection each.
@@ -28,29 +30,47 @@ type ServerParams struct {
 	// Batches are the MULTI batch sizes to sweep; batch 1 issues plain
 	// single-key requests (no futures) as the baseline.
 	Batches []int
+	// Pipeline is the per-connection pipeline depth for the single-key
+	// (batch 1) sweep: each client keeps this many requests in flight on its
+	// one connection. Depth 1 is strict request/response; deeper pipelines
+	// let the server batch reads, coalesce commits and batch response
+	// flushes. MULTI points always run at depth 1 (the batch is the
+	// pipeline).
+	Pipeline []int
 	// Keys is the keyspace size (uniform access).
 	Keys int
 	// Shards is the server's store partition count (the fan-out ceiling).
 	Shards int
 	// WriteRatio is the fraction of PUTs in the command mix (rest are GETs).
 	WriteRatio float64
+	// Executors and FlushWindowsUS define the tuning sub-sweep, run at the
+	// highest client count and pipeline depth with batch 1 under WO:
+	// shard-affine executor goroutines × group-commit flush window (µs).
+	Executors      []int
+	FlushWindowsUS []int64
 }
 
 // DefaultServer returns a host-scaled parameter set: ≥3 client counts and
-// ≥2 batch sizes per ordering.
+// ≥2 batch sizes per ordering, ≥2 pipeline depths, and an executor ×
+// flush-window tuning grid.
 func DefaultServer(quick bool) ServerParams {
 	p := ServerParams{
-		Clients:    []int{1, 2, 4, 8, 16},
-		Batches:    []int{1, 8, 32},
-		Keys:       1 << 14,
-		Shards:     16,
-		WriteRatio: 0.2,
+		Clients:        []int{1, 2, 4, 8, 16},
+		Batches:        []int{1, 8, 32},
+		Pipeline:       []int{1, 8},
+		Keys:           1 << 14,
+		Shards:         16,
+		WriteRatio:     0.2,
+		Executors:      []int{1, 2, 4},
+		FlushWindowsUS: []int64{0, 50, 200},
 	}
 	if quick {
 		p.Clients = []int{1, 2, 4}
 		p.Batches = []int{1, 8}
+		p.Pipeline = []int{1, 4}
 		p.Keys = 1 << 10
 		p.Shards = 8
+		p.Executors = []int{1, 2}
 	}
 	return p
 }
@@ -60,6 +80,12 @@ type ServerPoint struct {
 	Ordering string // "WO" or "SO"
 	Clients  int
 	Batch    int
+	// Pipeline is the per-connection pipeline depth this point ran at.
+	Pipeline int
+	// Executors and FlushWindowUS echo the server tuning the point ran with
+	// (0 = server default).
+	Executors     int
+	FlushWindowUS int64
 	// ReqPerSec is completed requests (frames) per second.
 	ReqPerSec float64
 	// KeysPerSec is ReqPerSec × batch: per-key serving rate.
@@ -67,6 +93,12 @@ type ServerPoint struct {
 	// P50 and P99 are request latency percentiles.
 	P50 time.Duration
 	P99 time.Duration
+	// GroupCommits / GroupedOps echo the server's group-commit counters for
+	// the point (coalesced transactions and the single-key ops they
+	// carried) — the direct measure of how often the flush window and
+	// pipeline backlog actually produced a group.
+	GroupCommits int64
+	GroupedOps   int64
 }
 
 // ServerResult is the full sweep.
@@ -75,27 +107,66 @@ type ServerResult struct {
 	Points []ServerPoint
 }
 
-// RunServer sweeps orderings × client counts × batch sizes, one fresh
-// server per point (so a point's commit history cannot warm another's).
+// RunServer sweeps orderings × batch sizes × client counts (× pipeline
+// depth for the single-key points), one fresh server per point (so a
+// point's commit history cannot warm another's), then the executor ×
+// flush-window tuning grid at the heaviest single-key point.
 func RunServer(cfg Config, p ServerParams) (*ServerResult, error) {
 	res := &ServerResult{Params: p}
 	for _, ord := range []core.Ordering{core.WO, core.SO} {
 		for _, batch := range p.Batches {
-			for _, clients := range p.Clients {
-				pt, err := runServerPoint(cfg, p, ord, clients, batch)
+			pipes := []int{1}
+			if batch == 1 && len(p.Pipeline) > 0 {
+				pipes = p.Pipeline
+			}
+			for _, pipe := range pipes {
+				for _, clients := range p.Clients {
+					pt, err := runServerPoint(cfg, p, ord, clients, batch, pipe, 0, 0)
+					if err != nil {
+						return nil, err
+					}
+					res.Points = append(res.Points, pt)
+					cfg.progress("server %s clients=%d batch=%d pipe=%d done", ord, clients, batch, pipe)
+				}
+			}
+		}
+	}
+	// Tuning grid: heaviest single-key shape (max clients, max pipeline)
+	// under WO, sweeping executor count × flush window.
+	if len(p.Executors) > 0 && len(p.FlushWindowsUS) > 0 {
+		clients := maxInt(p.Clients)
+		pipe := maxInt(p.Pipeline)
+		for _, execs := range p.Executors {
+			for _, winUS := range p.FlushWindowsUS {
+				pt, err := runServerPoint(cfg, p, core.WO, clients, 1, pipe, execs, winUS)
 				if err != nil {
 					return nil, err
 				}
 				res.Points = append(res.Points, pt)
-				cfg.progress("server %s clients=%d batch=%d done", ord, clients, batch)
+				cfg.progress("server tune execs=%d window=%dus done", execs, winUS)
 			}
 		}
 	}
 	return res, nil
 }
 
-func runServerPoint(cfg Config, p ServerParams, ord core.Ordering, clients, batch int) (ServerPoint, error) {
-	srv := server.New(server.Config{Ordering: ord, Shards: p.Shards})
+func maxInt(xs []int) int {
+	m := 1
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func runServerPoint(cfg Config, p ServerParams, ord core.Ordering, clients, batch, pipe int, execs int, winUS int64) (ServerPoint, error) {
+	srv := server.New(server.Config{
+		Ordering:    ord,
+		Shards:      p.Shards,
+		Executors:   execs,
+		FlushWindow: time.Duration(winUS) * time.Microsecond,
+	})
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
 		return ServerPoint{}, err
 	}
@@ -115,8 +186,16 @@ func runServerPoint(cfg Config, p ServerParams, ord core.Ordering, clients, batc
 			fill = fill[:0]
 		}
 	}
+	groupsBefore, opsBefore := int64(0), int64(0)
+	if st, err := seed.Stats(); err == nil {
+		groupsBefore, opsBefore = st.Server.GroupCommits, st.Server.GroupedOps
+	}
 	seed.Close()
 
+	// A warmup third lets connection setup, pool priming and the first GC
+	// cycles happen outside the measured window; only requests completing
+	// after warmupEnd count.
+	warmup := cfg.Duration / 3
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -124,70 +203,102 @@ func runServerPoint(cfg Config, p ServerParams, ord core.Ordering, clients, batc
 		totalReq int64
 		lats     []time.Duration
 	)
-	deadline := time.Now().Add(cfg.Duration)
+	warmupEnd := time.Now().Add(warmup)
+	deadline := warmupEnd.Add(cfg.Duration)
 	for w := 0; w < clients; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			cl := client.New(client.Options{Addr: addr, Conns: 1})
-			defer cl.Close()
-			rng := workload.NewRNG(uint64(w)*2654435761 + 12345)
-			var reqs int64
-			local := make([]time.Duration, 0, 4096)
-			cmds := make([]wire.Cmd, batch)
-			for time.Now().Before(deadline) {
-				for i := range cmds {
-					key := benchKey(rng.Intn(p.Keys))
-					if rng.Float64() < p.WriteRatio {
-						cmds[i] = wire.Put(key, []byte("1"))
+		cl := client.New(client.Options{Addr: addr, Conns: 1})
+		defer cl.Close()
+		for g := 0; g < pipe; g++ {
+			wg.Add(1)
+			go func(w, g int) {
+				defer wg.Done()
+				rng := workload.NewRNG(uint64(w*64+g)*2654435761 + 12345)
+				var reqs int64
+				measuring := false
+				local := make([]time.Duration, 0, 4096)
+				cmds := make([]wire.Cmd, batch)
+				for {
+					now := time.Now()
+					if now.After(deadline) {
+						break
+					}
+					if !measuring && now.After(warmupEnd) {
+						measuring = true
+					}
+					for i := range cmds {
+						key := benchKey(rng.Intn(p.Keys))
+						if rng.Float64() < p.WriteRatio {
+							cmds[i] = wire.Put(key, []byte("1"))
+						} else {
+							cmds[i] = wire.Get(key)
+						}
+					}
+					start := time.Now()
+					var err error
+					if batch == 1 {
+						switch cmds[0].Op {
+						case wire.OpPut:
+							err = cl.Put(cmds[0].Key, string(cmds[0].Val))
+						default:
+							_, _, err = cl.Get(cmds[0].Key)
+						}
 					} else {
-						cmds[i] = wire.Get(key)
+						_, _, err = cl.Multi(cmds)
+					}
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					if measuring {
+						local = append(local, time.Since(start))
+						reqs++
 					}
 				}
-				start := time.Now()
-				var err error
-				if batch == 1 {
-					switch cmds[0].Op {
-					case wire.OpPut:
-						err = cl.Put(cmds[0].Key, string(cmds[0].Val))
-					default:
-						_, _, err = cl.Get(cmds[0].Key)
-					}
-				} else {
-					_, _, err = cl.Multi(cmds)
-				}
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				local = append(local, time.Since(start))
-				reqs++
-			}
-			mu.Lock()
-			totalReq += reqs
-			lats = append(lats, local...)
-			mu.Unlock()
-		}(w)
+				mu.Lock()
+				totalReq += reqs
+				lats = append(lats, local...)
+				mu.Unlock()
+			}(w, g)
+		}
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return ServerPoint{}, firstErr
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pt := ServerPoint{
-		Ordering:   ord.String(),
-		Clients:    clients,
-		Batch:      batch,
-		ReqPerSec:  float64(totalReq) / cfg.Duration.Seconds(),
-		KeysPerSec: float64(totalReq*int64(batch)) / cfg.Duration.Seconds(),
-		P50:        percentile(lats, 0.50),
-		P99:        percentile(lats, 0.99),
+		Ordering:      ord.String(),
+		Clients:       clients,
+		Batch:         batch,
+		Pipeline:      pipe,
+		Executors:     execs,
+		FlushWindowUS: winUS,
+		ReqPerSec:     float64(totalReq) / cfg.Duration.Seconds(),
+		KeysPerSec:    float64(totalReq*int64(batch)) / cfg.Duration.Seconds(),
 	}
+	if st := statsOf(addr); st != nil {
+		pt.GroupCommits = st.Server.GroupCommits - groupsBefore
+		pt.GroupedOps = st.Server.GroupedOps - opsBefore
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pt.P50 = percentile(lats, 0.50)
+	pt.P99 = percentile(lats, 0.99)
 	return pt, nil
+}
+
+// statsOf fetches the server's stats over a throwaway connection (nil on
+// any error; the sweep's throughput numbers never depend on it).
+func statsOf(addr string) *wire.StatsReply {
+	cl := client.New(client.Options{Addr: addr, Conns: 1})
+	defer cl.Close()
+	st, err := cl.Stats()
+	if err != nil {
+		return nil
+	}
+	return st
 }
 
 func benchKey(i int) string { return fmt.Sprintf("bench-key-%d", i) }
@@ -202,14 +313,24 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
-// Print renders the sweep: WO vs SO serving throughput and tail latency.
+// Print renders the sweep: WO vs SO serving throughput and tail latency,
+// with the executor × flush-window tuning grid at the bottom.
 func (r *ServerResult) Print(w io.Writer) {
 	fmt.Fprintln(w, "wtfd end-to-end: MULTI fan-out under WO vs SO futures (closed loop, loopback TCP)")
-	t := newTable("ordering", "clients", "batch", "req/s", "keys/s", "p50", "p99")
+	t := newTable("ordering", "clients", "batch", "pipe", "execs", "window", "req/s", "keys/s", "p50", "p99", "grouped")
 	for _, pt := range r.Points {
-		t.add(pt.Ordering, fmt.Sprint(pt.Clients), fmt.Sprint(pt.Batch),
+		execs := "auto"
+		if pt.Executors > 0 {
+			execs = fmt.Sprint(pt.Executors)
+		}
+		grouped := "-"
+		if pt.GroupedOps > 0 {
+			grouped = fmt.Sprintf("%d/%d", pt.GroupedOps, pt.GroupCommits)
+		}
+		t.add(pt.Ordering, fmt.Sprint(pt.Clients), fmt.Sprint(pt.Batch), fmt.Sprint(pt.Pipeline),
+			execs, (time.Duration(pt.FlushWindowUS) * time.Microsecond).String(),
 			fmt.Sprintf("%.0f", pt.ReqPerSec), fmt.Sprintf("%.0f", pt.KeysPerSec),
-			pt.P50.Round(time.Microsecond).String(), pt.P99.Round(time.Microsecond).String())
+			pt.P50.Round(time.Microsecond).String(), pt.P99.Round(time.Microsecond).String(), grouped)
 	}
 	t.print(w)
 }

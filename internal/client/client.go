@@ -4,6 +4,12 @@
 // the same connection interleave on the wire and are matched back to their
 // callers by request ID, so one slow request does not serialize the others.
 //
+// The pipelined hot path is engineered to stay off shared state: the
+// pending-call table is sharded by request ID (pipelined callers rarely
+// touch the same shard's mutex), and request objects, response channels and
+// encode buffers are pooled, so a steady-state call allocates only what the
+// response decode itself requires.
+//
 // A connection that fails is redialed transparently on its next use: calls
 // in flight on the broken connection return the transport error, later
 // calls re-establish the connection (see TestReconnectAfterRestart).
@@ -76,6 +82,17 @@ type slot struct {
 	c  *conn
 }
 
+// pendShards is the pending-table shard count. Requests are assigned to
+// shards by ID, so concurrent pipelined callers are spread across shard
+// mutexes instead of serializing on one.
+const pendShards = 16
+
+// pendShard is one shard of the pending-call table.
+type pendShard struct {
+	mu sync.Mutex
+	m  map[uint32]chan wire.Response
+}
+
 // conn is one live TCP connection with a reader goroutine dispatching
 // responses to waiting callers by request ID.
 type conn struct {
@@ -83,11 +100,21 @@ type conn struct {
 	bw  *bufio.Writer
 	wmu sync.Mutex // serializes frame writes
 
-	mu      sync.Mutex
-	pending map[uint32]chan wire.Response
-	idSeq   uint32
-	err     error // set once broken; guards new sends
+	idSeq  atomic.Uint32
+	failed atomic.Bool // set before the pending sweep; guards new registrations
+	pend   [pendShards]pendShard
+
+	errMu sync.Mutex
+	err   error // set once broken
 }
+
+// respChanPool recycles the single-slot channels callers wait on. Channels
+// closed by the failure path (close delivers the error to every waiter) are
+// never returned to the pool; only channels that delivered a response are.
+var respChanPool = sync.Pool{New: func() any { return make(chan wire.Response, 1) }}
+
+// encBufPool recycles request-encoding buffers across calls.
+var encBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // New creates a client. No connection is made until the first call.
 func New(opts Options) *Client {
@@ -121,38 +148,50 @@ func (cl *Client) acquire() (*conn, error) {
 	s := cl.slots[cl.next.Add(1)%uint64(len(cl.slots))]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.c != nil && s.c.alive() {
+	if s.c != nil && !s.c.failed.Load() {
 		return s.c, nil
 	}
 	nc, err := net.DialTimeout("tcp", cl.opts.Addr, cl.opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	c := &conn{nc: nc, bw: bufio.NewWriter(nc), pending: make(map[uint32]chan wire.Response)}
+	c := &conn{nc: nc, bw: bufio.NewWriter(nc)}
+	for i := range c.pend {
+		c.pend[i].m = make(map[uint32]chan wire.Response)
+	}
 	go c.readLoop()
 	s.c = c
 	return c, nil
 }
 
-func (c *conn) alive() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.err == nil
-}
-
 // fail marks the connection broken and delivers err to every waiter.
 func (c *conn) fail(err error) {
-	c.mu.Lock()
+	c.errMu.Lock()
 	if c.err == nil {
 		c.err = err
 	}
-	pending := c.pending
-	c.pending = nil
-	c.mu.Unlock()
+	c.errMu.Unlock()
+	// Order matters: failed is observed under the shard mutex by
+	// registering callers, so every channel is either swept here or its
+	// caller saw failed and never registered.
+	c.failed.Store(true)
 	c.nc.Close()
-	for _, ch := range pending {
-		close(ch) // receivers translate a closed channel into c.err
+	for i := range c.pend {
+		sh := &c.pend[i]
+		sh.mu.Lock()
+		m := sh.m
+		sh.m = nil
+		sh.mu.Unlock()
+		for _, ch := range m {
+			close(ch) // receivers translate a closed channel into c.err
+		}
 	}
+}
+
+func (c *conn) lastErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
 }
 
 func (c *conn) readLoop() {
@@ -164,16 +203,17 @@ func (c *conn) readLoop() {
 			c.fail(fmt.Errorf("client: connection lost: %w", err))
 			return
 		}
-		buf = payload[:0]
+		buf = wire.RecycleFrameBuf(payload)
 		resp, err := wire.DecodeResponse(payload)
 		if err != nil {
 			c.fail(fmt.Errorf("client: protocol error: %w", err))
 			return
 		}
-		c.mu.Lock()
-		ch := c.pending[resp.ID]
-		delete(c.pending, resp.ID)
-		c.mu.Unlock()
+		sh := &c.pend[resp.ID%pendShards]
+		sh.mu.Lock()
+		ch := sh.m[resp.ID]
+		delete(sh.m, resp.ID)
+		sh.mu.Unlock()
 		if ch != nil {
 			ch <- resp
 		}
@@ -183,23 +223,33 @@ func (c *conn) readLoop() {
 // roundTrip sends req (assigning its ID) and waits for the matching
 // response.
 func (c *conn) roundTrip(req *wire.Request) (wire.Response, error) {
-	ch := make(chan wire.Response, 1)
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
+	ch := respChanPool.Get().(chan wire.Response)
+	id := c.idSeq.Add(1)
+	req.ID = id
+	sh := &c.pend[id%pendShards]
+	sh.mu.Lock()
+	if c.failed.Load() || sh.m == nil {
+		sh.mu.Unlock()
+		respChanPool.Put(ch)
+		err := c.lastErr()
+		if err == nil {
+			err = errors.New("client: connection closed")
+		}
 		return wire.Response{}, err
 	}
-	c.idSeq++
-	req.ID = c.idSeq
-	c.pending[req.ID] = ch
-	c.mu.Unlock()
+	sh.m[id] = ch
+	sh.mu.Unlock()
 
-	payload, err := wire.AppendRequest(nil, req)
+	bufp := encBufPool.Get().(*[]byte)
+	payload, err := wire.AppendRequest((*bufp)[:0], req)
 	if err != nil { // encoding error: local bug or limit violation
-		c.mu.Lock()
-		delete(c.pending, req.ID)
-		c.mu.Unlock()
+		encBufPool.Put(bufp)
+		sh.mu.Lock()
+		if sh.m != nil {
+			delete(sh.m, id)
+		}
+		sh.mu.Unlock()
+		respChanPool.Put(ch)
 		return wire.Response{}, err
 	}
 	c.wmu.Lock()
@@ -208,20 +258,22 @@ func (c *conn) roundTrip(req *wire.Request) (wire.Response, error) {
 		werr = c.bw.Flush()
 	}
 	c.wmu.Unlock()
+	*bufp = wire.RecycleFrameBuf(payload)
+	encBufPool.Put(bufp)
 	if werr != nil {
 		c.fail(fmt.Errorf("client: write failed: %w", werr))
 	}
 
 	resp, ok := <-ch
 	if !ok {
-		c.mu.Lock()
-		err := c.err
-		c.mu.Unlock()
+		// Closed by the failure sweep: the channel cannot be reused.
+		err := c.lastErr()
 		if err == nil {
 			err = errors.New("client: connection closed")
 		}
 		return wire.Response{}, err
 	}
+	respChanPool.Put(ch)
 	return resp, nil
 }
 
@@ -231,6 +283,17 @@ func (cl *Client) call(req *wire.Request) (wire.Response, error) {
 		return wire.Response{}, err
 	}
 	return c.roundTrip(req)
+}
+
+// callCmd round-trips a pooled single-command request.
+func (cl *Client) callCmd(op wire.Op, cmd wire.Cmd) (wire.Response, error) {
+	req := wire.AcquireRequest()
+	req.Op = op
+	req.Cmd = cmd
+	resp, err := cl.call(req)
+	req.Cmd = wire.Cmd{} // caller owns cmd's buffers; don't recycle them
+	wire.ReleaseRequest(req)
+	return resp, err
 }
 
 func statusErr(res *wire.Result) error {
@@ -243,7 +306,7 @@ func statusErr(res *wire.Result) error {
 
 // Ping round-trips an empty request.
 func (cl *Client) Ping() error {
-	resp, err := cl.call(&wire.Request{Op: wire.OpPing})
+	resp, err := cl.callCmd(wire.OpPing, wire.Cmd{})
 	if err != nil {
 		return err
 	}
@@ -255,7 +318,7 @@ func (cl *Client) Ping() error {
 
 // Get returns the value of key and whether it is present.
 func (cl *Client) Get(key string) (string, bool, error) {
-	resp, err := cl.call(&wire.Request{Op: wire.OpGet, Cmd: wire.Get(key)})
+	resp, err := cl.callCmd(wire.OpGet, wire.Get(key))
 	if err != nil {
 		return "", false, err
 	}
@@ -271,7 +334,7 @@ func (cl *Client) Get(key string) (string, bool, error) {
 
 // Put stores val under key.
 func (cl *Client) Put(key, val string) error {
-	resp, err := cl.call(&wire.Request{Op: wire.OpPut, Cmd: wire.Put(key, []byte(val))})
+	resp, err := cl.callCmd(wire.OpPut, wire.Put(key, []byte(val)))
 	if err != nil {
 		return err
 	}
@@ -283,7 +346,7 @@ func (cl *Client) Put(key, val string) error {
 
 // Del removes key, reporting whether it was present.
 func (cl *Client) Del(key string) (bool, error) {
-	resp, err := cl.call(&wire.Request{Op: wire.OpDel, Cmd: wire.Del(key)})
+	resp, err := cl.callCmd(wire.OpDel, wire.Del(key))
 	if err != nil {
 		return false, err
 	}
@@ -301,7 +364,7 @@ func (cl *Client) Del(key string) (bool, error) {
 // expect (nil expect ⇒ key must be absent). On mismatch it reports ok ==
 // false and the current value (cur == nil: key absent).
 func (cl *Client) CAS(key string, expect []byte, val string) (ok bool, cur []byte, err error) {
-	resp, err := cl.call(&wire.Request{Op: wire.OpCAS, Cmd: wire.CAS(key, expect, []byte(val))})
+	resp, err := cl.callCmd(wire.OpCAS, wire.CAS(key, expect, []byte(val)))
 	if err != nil {
 		return false, nil, err
 	}
@@ -323,7 +386,12 @@ func (cl *Client) CAS(key string, expect []byte, val string) (ok bool, cur []byt
 // the per-command results and whether the batch applied; applied == false
 // means a CAS in the batch failed and no write was applied.
 func (cl *Client) Multi(cmds []wire.Cmd) (results []wire.Result, applied bool, err error) {
-	resp, err := cl.call(&wire.Request{Op: wire.OpMulti, Batch: cmds})
+	req := wire.AcquireRequest()
+	req.Op = wire.OpMulti
+	req.Batch = cmds
+	resp, err := cl.call(req)
+	req.Batch = nil // caller owns cmds; don't recycle their buffers
+	wire.ReleaseRequest(req)
 	if err != nil {
 		return nil, false, err
 	}
@@ -339,7 +407,7 @@ func (cl *Client) Multi(cmds []wire.Cmd) (results []wire.Result, applied bool, e
 
 // Stats fetches and decodes the server's STATS document.
 func (cl *Client) Stats() (*wire.StatsReply, error) {
-	resp, err := cl.call(&wire.Request{Op: wire.OpStats})
+	resp, err := cl.callCmd(wire.OpStats, wire.Cmd{})
 	if err != nil {
 		return nil, err
 	}

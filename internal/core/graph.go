@@ -326,6 +326,9 @@ func (t *topTx) mergeChain(head, target *vertex, evalFrom *vertex) {
 				target.reads.put(b, obs)
 			}
 			if obs.ver != nil {
+				if t.aggReads == nil {
+					t.aggReads = make(map[*mvstm.VBox]struct{})
+				}
 				t.aggReads[b] = struct{}{}
 			}
 		}

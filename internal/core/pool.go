@@ -118,8 +118,12 @@ func (s *iset[V]) all() iter.Seq2[*mvstm.VBox, V] {
 	}
 }
 
-// vertexSlab is the number of vertices carved per slab allocation.
-const vertexSlab = 32
+// vertexSlabMax caps the per-slab vertex count. Slabs grow geometrically
+// from a single vertex: a transaction with no futures (the dominant shape on
+// a key-value serving path) touches only its root vertex, so charging it a
+// full slab would make slab zeroing and GC scanning the dominant cost of
+// Atomic. Fan-out-heavy transactions reach the cap within three slabs.
+const vertexSlabMax = 32
 
 // allocVertex hands out the next vertex from the transaction's slab. The
 // slab's zeroed memory is the vertex's initial state (empty inline sets,
@@ -127,7 +131,14 @@ const vertexSlab = 32
 // pre-concurrency).
 func (t *topTx) allocVertex() *vertex {
 	if len(t.vslab) == 0 {
-		t.vslab = make([]vertex, vertexSlab)
+		n := t.vslabGrow
+		if n == 0 {
+			n = 1
+		} else if n > vertexSlabMax {
+			n = vertexSlabMax
+		}
+		t.vslabGrow = n * 4
+		t.vslab = make([]vertex, n)
 	}
 	v := &t.vslab[0]
 	t.vslab = t.vslab[1:]

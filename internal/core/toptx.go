@@ -41,12 +41,14 @@ type topTx struct {
 	root        *vertex
 	nextVID     int
 	flowSeq     int
-	lastInFlow  map[int]*Future
+	lastInFlow  map[int]*Future // lazy: allocated on first Submit
 	futures     []*Future
 	allVertices []*vertex
-	aggReads    map[*mvstm.VBox]struct{}
-	// vslab is the remainder of the current vertex slab (see pool.go).
-	vslab []vertex
+	aggReads    map[*mvstm.VBox]struct{} // lazy: allocated on first aggregated read
+	// vslab is the remainder of the current vertex slab; vslabGrow is the
+	// next slab's size (geometric, see pool.go).
+	vslab     []vertex
+	vslabGrow int
 
 	// flowTx registers the live Tx handle of each flow (under mu), so graph
 	// mutations can push visible-write-index patches and invalidations to
@@ -105,15 +107,13 @@ func (s *System) newTop() *topTx {
 	s.yield(sched.PointTopBegin, "")
 	txn := s.stm.Begin()
 	t := &topTx{
-		sys:        s,
-		id:         s.topSeq.Add(1),
-		txn:        txn,
-		snap:       txn.Snapshot(),
-		lastInFlow: make(map[int]*Future),
-		aggReads:   make(map[*mvstm.VBox]struct{}),
-		flowTx:     make(map[int]*Tx),
-		abortCh:    make(chan struct{}),
-		commitCh:   make(chan struct{}),
+		sys:      s,
+		id:       s.topSeq.Add(1),
+		txn:      txn,
+		snap:     txn.Snapshot(),
+		flowTx:   make(map[int]*Tx, 1),
+		abortCh:  make(chan struct{}),
+		commitCh: make(chan struct{}),
 	}
 	t.outCond = sync.NewCond(&t.outMu)
 	t.rollbackTo = noRollback

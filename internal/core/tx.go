@@ -365,6 +365,9 @@ func (tx *Tx) Submit(body func(*Tx) (any, error)) *Future {
 	f.ftx = &Tx{top: top, cur: fv}
 	top.flowTx[fv.flow] = f.ftx
 	f.prevInFlow = top.lastInFlow[spawner.flow]
+	if top.lastInFlow == nil {
+		top.lastInFlow = make(map[int]*Future)
+	}
 	top.lastInFlow[spawner.flow] = f
 	top.futures = append(top.futures, f)
 	// The spawner just iCommitted: its writes become visible to the

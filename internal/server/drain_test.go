@@ -58,23 +58,35 @@ func TestDrain(t *testing.T) {
 		close(drained)
 	}()
 
-	// Drain must be blocked on the in-flight request. Give it time to close
-	// the listener, then verify new connections are refused while the MULTI
-	// is still held.
+	// Drain must be blocked on the in-flight request while refusing new
+	// work. Poll for the progress condition — a fresh dial is refused, i.e.
+	// the listener is provably closed — instead of sleeping a fixed
+	// interval: on a loaded host a fixed sleep either races the listener
+	// close (flake) or wastes wall clock. Dials that land in the accept
+	// backlog before the close are retried.
+	dialDeadline := time.Now().Add(5 * time.Second)
+	for {
+		select {
+		case <-drained:
+			t.Fatal("Drain returned while a request was in flight")
+		default:
+		}
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			break // refused: the listener is closed, drain is in progress
+		}
+		nc.Close()
+		if time.Now().After(dialDeadline) {
+			t.Fatal("listener still accepting while a drain is in progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The listener is closed but the held MULTI is still in flight, so
+	// Drain must still be blocked.
 	select {
 	case <-drained:
 		t.Fatal("Drain returned while a request was in flight")
-	case <-time.After(100 * time.Millisecond):
-	}
-	if nc, err := net.Dial("tcp", addr); err == nil {
-		// Accept may race the listener close; a successful dial must at
-		// least be closed/unanswered by the server.
-		nc.SetReadDeadline(time.Now().Add(2 * time.Second))
-		buf := make([]byte, 1)
-		if _, rerr := nc.Read(buf); rerr == nil {
-			t.Fatal("draining server served a new connection")
-		}
-		nc.Close()
+	default:
 	}
 
 	close(release)

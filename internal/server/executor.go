@@ -1,0 +1,178 @@
+// Shard-affine executors: the serving layer's answer to "route conflicting
+// work to the same place and batch its commits" (DESIGN.md §10).
+//
+// Each executor owns the shards sh where sh mod Executors == id, a bounded
+// run queue, and one goroutine. Because every single-key request for a shard
+// arrives on the owning executor's queue, same-shard requests never race
+// each other's STM validation — their transactions are naturally serialized
+// by the queue — and consecutive single-key commands can be coalesced into
+// one group-commit transaction, amortizing begin/validate/commit across the
+// group. Cross-shard work (MULTI fan-out futures, other executors) still
+// conflicts only through the STM, which resolves it as before.
+package server
+
+import (
+	"time"
+
+	"wtftm"
+	"wtftm/internal/wire"
+)
+
+// executor is one shard-affine serving goroutine.
+type executor struct {
+	srv   *Server
+	id    int
+	q     chan task
+	group []task      // collection scratch, reused across groups
+	timer *time.Timer // flush-window timer, reused across waits
+}
+
+func newExecutor(s *Server, id int) *executor {
+	ex := &executor{srv: s, id: id, q: make(chan task, s.cfg.Queue)}
+	if s.cfg.FlushWindow > 0 {
+		ex.timer = time.NewTimer(time.Hour)
+		ex.timer.Stop()
+	}
+	return ex
+}
+
+// coalescible reports whether a request may join a group commit: exactly
+// the single-key store commands. (A CAS inside a group keeps its single-op
+// semantics — a mismatch skips only its own write — so coalescing changes
+// no observable outcome, only the number of commits.)
+func coalescible(req *wire.Request) bool {
+	switch req.Op {
+	case wire.OpGet, wire.OpPut, wire.OpDel, wire.OpCAS:
+		return true
+	}
+	return false
+}
+
+// loop runs tasks from the queue until it is closed (Drain after all read
+// loops exited; queued work is still completed). Single-key commands are
+// collected into bounded groups and committed together; anything else runs
+// solo, after the group collected so far is flushed (queue order is
+// completion order per key).
+func (e *executor) loop() {
+	s := e.srv
+	defer s.execWG.Done()
+	for t := range e.q {
+		if s.cfg.GroupLimit <= 1 || !coalescible(t.req) {
+			s.executeTask(t)
+			continue
+		}
+		e.group = append(e.group[:0], t)
+		e.collect()
+		s.executeGroup(e.group)
+		clear(e.group) // drop request/response refs so the pool can recycle
+		e.group = e.group[:0]
+	}
+}
+
+// collect tops e.group off with coalescible work that is already queued. It
+// never blocks beyond the configured flush window (and not at all when the
+// window is 0): group commit trades no latency for throughput by default —
+// it only exploits backlog that pipelining already created.
+func (e *executor) collect() {
+	s := e.srv
+	limit := s.cfg.GroupLimit
+	windowOpen := e.timer != nil
+	for len(e.group) < limit {
+		select {
+		case t, ok := <-e.q:
+			if !e.admit(t, ok) {
+				return
+			}
+		default:
+			if !windowOpen {
+				return
+			}
+			windowOpen = false
+			e.timer.Reset(s.cfg.FlushWindow)
+			select {
+			case t, ok := <-e.q:
+				e.timer.Stop()
+				if !e.admit(t, ok) {
+					return
+				}
+			case <-e.timer.C:
+				return
+			}
+		}
+	}
+}
+
+// admit handles one task received while collecting: coalescible work joins
+// the group; anything else flushes the group (preserving queue order) and
+// runs solo. It reports whether collection may continue (false on queue
+// close).
+func (e *executor) admit(t task, ok bool) bool {
+	if !ok {
+		return false
+	}
+	if coalescible(t.req) {
+		e.group = append(e.group, t)
+		return true
+	}
+	e.srv.executeGroup(e.group)
+	clear(e.group)
+	e.group = e.group[:0]
+	e.srv.executeTask(t)
+	return true
+}
+
+// executeTask runs one request solo: acquire a response, execute, hand the
+// response to the write loop and recycle the request.
+func (s *Server) executeTask(t task) {
+	resp := wire.AcquireResponse()
+	s.execute(t.req, resp)
+	wire.ReleaseRequest(t.req)
+	t.c.send(resp)
+	t.c.pending.Done()
+}
+
+// executeGroup commits a group of single-key commands as one transaction.
+// All commands apply in queue order inside the shared transaction, so
+// per-key last-writer-wins is exactly the order clients observed; a CAS
+// mismatch skips its own write without disturbing the rest (single-op
+// semantics). A terminal engine error fails every op in the group the same
+// way it would have failed each solo transaction.
+func (s *Server) executeGroup(group []task) {
+	switch len(group) {
+	case 0:
+		return
+	case 1:
+		s.executeTask(group[0])
+		return
+	}
+	if s.cfg.execHook != nil {
+		for i := range group {
+			s.cfg.execHook(group[i].req)
+		}
+	}
+	s.requests.Add(int64(len(group)))
+	s.keysServed.Add(int64(len(group)))
+	s.groupCommits.Add(1)
+	s.groupedOps.Add(int64(len(group)))
+	for i := range group {
+		group[i].resp = wire.AcquireResponse()
+		group[i].resp.ID = group[i].req.ID
+		group[i].resp.Op = group[i].req.Op
+	}
+	err := s.sys.Atomic(func(tx *wtftm.Tx) error {
+		for i := range group {
+			group[i].resp.Result = s.store.apply(tx, &group[i].req.Cmd)
+		}
+		return nil
+	})
+	if err != nil {
+		for i := range group {
+			group[i].resp.Result = wire.ErrResult(err.Error())
+		}
+	}
+	for i := range group {
+		wire.ReleaseRequest(group[i].req)
+		group[i].c.send(group[i].resp)
+		group[i].c.pending.Done()
+	}
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wtftm"
+	"wtftm/internal/wire"
+)
+
+// sameShardKeys returns n distinct keys that all hash to the same shard of
+// s, so the traffic they carry contends on one executor and is eligible for
+// group commit.
+func sameShardKeys(s *Server, n int) []string {
+	want := -1
+	var keys []string
+	for i := 0; len(keys) < n; i++ {
+		k := fmt.Sprintf("gk-%d", i)
+		sh := s.store.shardOf(k)
+		if want == -1 {
+			want = sh
+		}
+		if sh == want {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestGroupCommitLastWriterWins drives interleaved single-key PUTs from
+// concurrent pipelined writers at keys of one shard — with a flush window
+// open so the executor actually coalesces — and checks that every key ends
+// at its own last write: group commit may re-batch transactions, but per-key
+// queue order must survive. A MULTI writer runs in the same stream so the
+// flush-before-solo path (non-coalescible work arriving mid-group) is
+// exercised too.
+func TestGroupCommitLastWriterWins(t *testing.T) {
+	leakCheck(t)
+	s := startServer(t, Config{Shards: 4, FlushWindow: time.Millisecond})
+	cl := newClient(t, s, 1) // one connection: all writers pipeline on it
+
+	const writers = 4
+	const writes = 150
+	keys := sameShardKeys(s, writers)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+1)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= writes; i++ {
+				if err := cl.Put(keys[w], strconv.Itoa(i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// MULTI traffic interleaved with the single-key stream: arrives at the
+	// same executor (first key's shard) and must flush the open group.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if _, _, err := cl.Multi([]wire.Cmd{
+				wire.Get(keys[0]),
+				wire.Put("multi-side", []byte(strconv.Itoa(i))),
+			}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	for w := 0; w < writers; w++ {
+		got, ok, err := cl.Get(keys[w])
+		if err != nil || !ok {
+			t.Fatalf("Get(%s): ok=%v err=%v", keys[w], ok, err)
+		}
+		if got != strconv.Itoa(writes) {
+			t.Fatalf("key %s = %q, want %q (last writer must win)", keys[w], got, strconv.Itoa(writes))
+		}
+	}
+	if got, ok, _ := cl.Get("multi-side"); !ok || got != "39" {
+		t.Fatalf("multi-side = %q ok=%v, want \"39\"", got, ok)
+	}
+	if s.groupCommits.Load() == 0 || s.groupedOps.Load() == 0 {
+		t.Fatalf("no group commits happened (commits=%d ops=%d); the flush window never coalesced",
+			s.groupCommits.Load(), s.groupedOps.Load())
+	}
+}
+
+// TestGroupCommitCASAllOrNothing runs concurrent CAS incrementers against a
+// single key while coalescing is active. Each CAS keeps its single-op
+// semantics inside a group: a mismatch must skip exactly its own write and
+// report the current value, a match must install its write atomically. The
+// counter's final value therefore equals the number of successful CAS ops —
+// any lost or doubled update breaks the equality.
+func TestGroupCommitCASAllOrNothing(t *testing.T) {
+	leakCheck(t)
+	s := startServer(t, Config{Shards: 2, FlushWindow: time.Millisecond})
+	cl := newClient(t, s, 1)
+
+	const key = "cas-ctr"
+	const workers = 4
+	const target = 200
+	if err := cl.Put(key, "0"); err != nil {
+		t.Fatal(err)
+	}
+
+	var succ atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for succ.Load() < target {
+				cur, ok, err := cl.Get(key)
+				if err != nil || !ok {
+					errs <- fmt.Errorf("Get: ok=%v err=%v", ok, err)
+					return
+				}
+				n, err := strconv.Atoi(cur)
+				if err != nil {
+					errs <- fmt.Errorf("counter corrupted: %q", cur)
+					return
+				}
+				ok, got, err := cl.CAS(key, []byte(cur), strconv.Itoa(n+1))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ok {
+					succ.Add(1)
+				} else if len(got) == 0 {
+					errs <- fmt.Errorf("CAS mismatch returned no current value")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	final, ok, err := cl.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("final Get: ok=%v err=%v", ok, err)
+	}
+	if final != strconv.FormatInt(succ.Load(), 10) {
+		t.Fatalf("counter = %s after %d successful CAS ops; increments were lost or doubled", final, succ.Load())
+	}
+	if s.groupCommits.Load() == 0 {
+		t.Fatalf("no group commits happened; CAS semantics were never tested under coalescing")
+	}
+}
+
+// TestRecorderDisablesGroupCommit proves the FSG-conformance contract: a
+// server constructed with a Recorder must serve one request per transaction
+// — the configured GroupLimit is forced to 1 and no coalesced commit ever
+// happens, even under pipelined same-shard load with a flush window begging
+// for it.
+func TestRecorderDisablesGroupCommit(t *testing.T) {
+	leakCheck(t)
+	rec := wtftm.NewRecorder()
+	s := startServer(t, Config{
+		Shards:      2,
+		Recorder:    rec,
+		GroupLimit:  64,
+		FlushWindow: time.Millisecond,
+	})
+	if s.cfg.GroupLimit != 1 {
+		t.Fatalf("GroupLimit = %d with Recorder set, want forced to 1", s.cfg.GroupLimit)
+	}
+
+	cl := newClient(t, s, 1)
+	keys := sameShardKeys(s, 4)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(keys))
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := cl.Put(k, strconv.Itoa(i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if n := s.groupCommits.Load(); n != 0 {
+		t.Fatalf("recorded server performed %d group commits; the FSG oracle expects the uncoalesced schedule", n)
+	}
+}

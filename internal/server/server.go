@@ -10,12 +10,21 @@
 // an operator-visible performance knob (wtfbench -exp server measures it).
 //
 // Concurrency model: one read loop and one write loop per connection, plus a
-// bounded shared worker pool. The read loop decodes frames and enqueues
-// them on the pool's bounded queue — when the queue is full the read loop
-// blocks, which stalls that connection's TCP window and pushes backpressure
-// to the client (admission control without load shedding). Responses carry
-// the request's ID, so pipelined requests of one connection may be answered
-// out of order as their transactions commit.
+// fixed set of shard-affine executors (DESIGN.md §10). Each executor owns a
+// subset of the store's shards and a bounded run queue; the read loop decodes
+// frames and enqueues each request on the queue of the executor that owns its
+// key's shard, so same-shard requests never contend on a shared channel or on
+// each other's STM validation, and consecutive single-key commands can be
+// coalesced into one group-commit transaction. When a run queue is full the
+// read loop blocks, which stalls that connection's TCP window and pushes
+// backpressure to the client (admission control without load shedding).
+// Responses carry the request's ID, so pipelined requests of one connection
+// may be answered out of order as their transactions commit.
+//
+// The request lifecycle is allocation-free in steady state: frame buffers,
+// wire.Request and wire.Response objects are pooled (size-capped), decoding
+// reuses batch and value backings, and responses are recycled after their
+// frame is flushed.
 //
 // Shutdown is graceful by default: Drain refuses new connections, stops
 // reading new requests, completes every in-flight transaction, flushes the
@@ -51,13 +60,32 @@ type Config struct {
 	Shards int
 	// Buckets is the per-shard hash-map bucket count; default 64.
 	Buckets int
-	// Workers bounds concurrently executing requests; default
-	// 4×GOMAXPROCS.
+	// Executors is the number of shard-affine executor goroutines; shard sh
+	// is owned by executor sh mod Executors, so all single-key traffic for
+	// one shard runs on one goroutine. Default GOMAXPROCS, capped at Shards.
+	Executors int
+	// Workers is a legacy alias for Executors (the old shared-pool size);
+	// used only when Executors is 0.
 	Workers int
-	// Queue bounds the admitted-but-not-executing request backlog; when it
-	// is full connection read loops block (TCP backpressure). Default
-	// 4×Workers.
+	// Queue bounds each executor's admitted-but-not-executing request run
+	// queue; when it is full connection read loops block (TCP backpressure).
+	// Default 128.
 	Queue int
+	// GroupLimit bounds how many consecutive single-key commands one
+	// executor may coalesce into a single group-commit transaction; 1
+	// disables coalescing. Default 32. Forced to 1 when Recorder is set, so
+	// recorded histories reflect the uncoalesced schedule the FSG oracle
+	// expects (one request = one transaction).
+	GroupLimit int
+	// FlushWindow is how long an executor with a non-empty, non-full group
+	// waits for more queued work before committing it. 0 (the default)
+	// coalesces only work that is already queued — no added latency.
+	FlushWindow time.Duration
+	// WriterQueue bounds each connection's queued-but-unwritten responses;
+	// executors block when it fills (the write loop is draining or the
+	// client stopped reading). Default 64. Surfaced, with its high-water
+	// mark, in wire.ServerStats.
+	WriterQueue int
 	// WriteTimeout bounds one response frame write; a connection whose
 	// client stops reading is closed rather than allowed to wedge a worker.
 	// Default 30s.
@@ -65,7 +93,8 @@ type Config struct {
 	// Recorder, when non-nil, captures the engine's totally ordered
 	// operation log so a served workload can be FSG-checked after the fact
 	// (see the end-to-end conformance test). Recording costs one mutex
-	// acquisition per transactional event; leave nil in production.
+	// acquisition per transactional event and disables group commit; leave
+	// nil in production.
 	Recorder *wtftm.Recorder
 
 	// execHook, when non-nil, runs at the start of every request execution.
@@ -81,11 +110,29 @@ func (c *Config) withDefaults() Config {
 	if out.Buckets <= 0 {
 		out.Buckets = 64
 	}
-	if out.Workers <= 0 {
-		out.Workers = 4 * runtime.GOMAXPROCS(0)
+	if out.Executors <= 0 {
+		if out.Workers > 0 {
+			out.Executors = out.Workers
+		} else {
+			out.Executors = runtime.GOMAXPROCS(0)
+		}
+	}
+	if out.Executors > out.Shards {
+		out.Executors = out.Shards
 	}
 	if out.Queue <= 0 {
-		out.Queue = 4 * out.Workers
+		out.Queue = 128
+	}
+	if out.GroupLimit <= 0 {
+		out.GroupLimit = 32
+	}
+	if out.Recorder != nil {
+		// One request = one transaction: the FSG conformance oracle checks
+		// the uncoalesced schedule.
+		out.GroupLimit = 1
+	}
+	if out.WriterQueue <= 0 {
+		out.WriterQueue = 64
 	}
 	if out.WriteTimeout <= 0 {
 		out.WriteTimeout = 30 * time.Second
@@ -108,9 +155,12 @@ type Server struct {
 	sys   *wtftm.System
 	store *store
 
-	ln   net.Listener
-	work chan task
-	quit chan struct{} // closed by Drain: stop admitting requests
+	ln    net.Listener
+	execs []*executor
+	rr    atomic.Uint32 // round-robin cursor for keyless requests
+	quit  chan struct{} // closed by Drain: stop admitting requests
+
+	multiPool sync.Pool // *multiScratch
 
 	mu       sync.Mutex
 	conns    map[*conn]struct{}
@@ -119,7 +169,7 @@ type Server struct {
 
 	acceptWG sync.WaitGroup
 	connWG   sync.WaitGroup
-	workerWG sync.WaitGroup
+	execWG   sync.WaitGroup
 
 	connsOpened   atomic.Int64
 	connsActive   atomic.Int64
@@ -128,11 +178,19 @@ type Server struct {
 	multiBatches  atomic.Int64
 	futureFanouts atomic.Int64
 	badFrames     atomic.Int64
+	groupCommits  atomic.Int64
+	groupedOps    atomic.Int64
+	writerQHWM    atomic.Int64
+	execQHWM      atomic.Int64
 }
 
+// task is one admitted request awaiting execution. resp is filled in by the
+// owning executor (group commits acquire all of a group's responses before
+// running the shared transaction).
 type task struct {
-	c   *conn
-	req wire.Request
+	c    *conn
+	req  *wire.Request
+	resp *wire.Response
 }
 
 // conn is one accepted connection: a read loop (runs serveConn), a write
@@ -150,15 +208,20 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	stm := wtftm.NewSTM()
 	sys := wtftm.NewSystem(stm, wtftm.Options{Ordering: cfg.Ordering, Atomicity: cfg.Atomicity, Recorder: cfg.Recorder})
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		stm:   stm,
 		sys:   sys,
 		store: newStore(stm, cfg.Shards, cfg.Buckets),
-		work:  make(chan task, cfg.Queue),
 		quit:  make(chan struct{}),
 		conns: make(map[*conn]struct{}),
 	}
+	s.multiPool.New = func() any { return new(multiScratch) }
+	s.execs = make([]*executor, cfg.Executors)
+	for i := range s.execs {
+		s.execs[i] = newExecutor(s, i)
+	}
+	return s
 }
 
 // System exposes the underlying futures engine (stats, options).
@@ -188,9 +251,9 @@ func (s *Server) Serve(ln net.Listener) {
 	s.ln = ln
 	if !s.started {
 		s.started = true
-		for i := 0; i < s.cfg.Workers; i++ {
-			s.workerWG.Add(1)
-			go s.worker()
+		for _, ex := range s.execs {
+			s.execWG.Add(1)
+			go ex.loop()
 		}
 	}
 	s.mu.Unlock()
@@ -215,7 +278,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed (Drain) or fatal
 		}
-		c := &conn{srv: s, nc: nc, out: make(chan *wire.Response, 64)}
+		c := &conn{srv: s, nc: nc, out: make(chan *wire.Response, s.cfg.WriterQueue)}
 		s.mu.Lock()
 		if s.draining.Load() {
 			s.mu.Unlock()
@@ -232,9 +295,35 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// readLoop decodes frames and admits requests to the worker pool. A
+// executorFor routes a request to the executor owning its key's shard.
+// MULTI batches go to the executor owning their first command's shard (the
+// batch still fans out over per-shard futures from there); keyless requests
+// (PING, STATS) are spread round-robin.
+func (s *Server) executorFor(req *wire.Request) *executor {
+	switch req.Op {
+	case wire.OpGet, wire.OpPut, wire.OpDel, wire.OpCAS:
+		return s.execs[s.store.shardOf(req.Cmd.Key)%len(s.execs)]
+	case wire.OpMulti:
+		if len(req.Batch) > 0 {
+			return s.execs[s.store.shardOf(req.Batch[0].Key)%len(s.execs)]
+		}
+	}
+	return s.execs[int(s.rr.Add(1)%uint32(len(s.execs)))]
+}
+
+// atomicMax lifts a to at least v (monotonic high-water mark).
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// readLoop decodes frames and admits requests to their shard's executor. A
 // malformed frame closes only this connection (after counting it); a full
-// admission queue blocks, exerting backpressure through TCP.
+// run queue blocks, exerting backpressure through TCP.
 func (c *conn) readLoop() {
 	s := c.srv
 	defer func() {
@@ -257,39 +346,62 @@ func (c *conn) readLoop() {
 			}
 			return
 		}
-		buf = payload[:0] // reuse the backing array for the next frame
-		req, err := wire.DecodeRequest(payload)
-		if err != nil {
+		// Reuse the backing array for the next frame, unless one oversized
+		// frame inflated it past the retention cap.
+		buf = wire.RecycleFrameBuf(payload)
+		req := wire.AcquireRequest()
+		if err := wire.DecodeRequestInto(req, payload); err != nil {
 			// The stream is unparseable past this point (framing may be
 			// fine but we cannot trust it): answer if the ID header was
 			// readable, then close.
 			s.badFrames.Add(1)
-			c.send(&wire.Response{ID: req.ID, Op: req.Op, Result: wire.ErrResult(err.Error())})
+			resp := wire.AcquireResponse()
+			resp.ID, resp.Op, resp.Result = req.ID, req.Op, wire.ErrResult(err.Error())
+			wire.ReleaseRequest(req)
+			c.send(resp)
 			return
 		}
 		if s.draining.Load() {
-			c.send(&wire.Response{ID: req.ID, Op: req.Op, Result: wire.Result{Status: wire.StatusUnavailable}})
+			c.sendStatus(req, wire.StatusUnavailable)
+			wire.ReleaseRequest(req)
 			return
 		}
+		ex := s.executorFor(req)
 		c.pending.Add(1)
+		depth := int64(len(ex.q)) + 1
 		select {
-		case s.work <- task{c: c, req: req}:
+		case ex.q <- task{c: c, req: req}:
+			atomicMax(&s.execQHWM, depth)
 		case <-s.quit:
 			c.pending.Done()
-			c.send(&wire.Response{ID: req.ID, Op: req.Op, Result: wire.Result{Status: wire.StatusUnavailable}})
+			c.sendStatus(req, wire.StatusUnavailable)
+			wire.ReleaseRequest(req)
 			return
 		}
 	}
 }
 
-// send enqueues a response for the write loop. It blocks only while the
-// write loop is alive and healthy; after a write failure responses are
-// dropped (the client is gone).
+// sendStatus enqueues a bare-status response for req.
+func (c *conn) sendStatus(req *wire.Request, st wire.Status) {
+	resp := wire.AcquireResponse()
+	resp.ID, resp.Op, resp.Result = req.ID, req.Op, wire.Result{Status: st}
+	c.send(resp)
+}
+
+// send enqueues a response for the write loop, which releases it back to the
+// pool after encoding. It blocks only while the write loop is alive and
+// healthy; after a write failure responses are dropped (the client is gone).
 func (c *conn) send(resp *wire.Response) {
 	if c.wfail.Load() {
+		wire.ReleaseResponse(resp)
 		return
 	}
+	depth := int64(len(c.out)) + 1
+	if m := int64(cap(c.out)); depth > m {
+		depth = m
+	}
 	c.out <- resp
+	atomicMax(&c.srv.writerQHWM, depth)
 }
 
 func (c *conn) writeLoop() {
@@ -306,7 +418,8 @@ func (c *conn) writeLoop() {
 	var scratch []byte
 	for resp := range c.out {
 		if c.wfail.Load() {
-			continue // drain without writing; workers must never block here
+			wire.ReleaseResponse(resp)
+			continue // drain without writing; executors must never block here
 		}
 		payload, err := wire.AppendResponse(scratch[:0], resp)
 		if err != nil {
@@ -314,7 +427,8 @@ func (c *conn) writeLoop() {
 				ID: resp.ID, Op: resp.Op, Result: wire.ErrResult("server: response encoding failed"),
 			})
 		}
-		scratch = payload
+		wire.ReleaseResponse(resp)
+		scratch = wire.RecycleFrameBuf(payload)
 		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		werr := wire.WriteFrame(bw, payload)
 		if werr == nil && len(c.out) == 0 {
@@ -331,26 +445,18 @@ func (c *conn) writeLoop() {
 	}
 }
 
-func (s *Server) worker() {
-	defer s.workerWG.Done()
-	for t := range s.work {
-		resp := s.execute(&t.req)
-		t.c.send(resp)
-		t.c.pending.Done()
-	}
-}
-
-// execute runs one request as one top-level transaction and builds its
+// execute runs one request as one top-level transaction and fills in its
 // response. The response values are either immutable committed strings read
 // at the transaction's snapshot or freshly built server-side buffers, so
 // handing them to the write loop after commit requires no further
-// synchronization (privatization safety; DESIGN.md §7).
-func (s *Server) execute(req *wire.Request) *wire.Response {
+// synchronization (privatization safety; DESIGN.md §7). It never retains
+// req or its buffers past return, so the caller may release req afterwards.
+func (s *Server) execute(req *wire.Request, resp *wire.Response) {
 	if s.cfg.execHook != nil {
 		s.cfg.execHook(req)
 	}
 	s.requests.Add(1)
-	resp := &wire.Response{ID: req.ID, Op: req.Op}
+	resp.ID, resp.Op = req.ID, req.Op
 	switch req.Op {
 	case wire.OpPing:
 		resp.Result = wire.OKResult()
@@ -377,7 +483,19 @@ func (s *Server) execute(req *wire.Request) *wire.Response {
 	default:
 		resp.Result = wire.ErrResult(fmt.Sprintf("server: unsupported op %v", req.Op))
 	}
-	return resp
+}
+
+// multiScratch is the pooled per-request working set of executeMulti: the
+// per-shard index groups, their first-touch order, the per-attempt result
+// buffer and the future handles. wg tracks submitted future bodies so the
+// scratch is never reused (by a retry attempt or by the pool) while a
+// straggler from an aborted attempt may still touch it.
+type multiScratch struct {
+	groups  [][]int
+	order   []int
+	attempt []wire.Result
+	futs    []*wtftm.Future
+	wg      sync.WaitGroup
 }
 
 // executeMulti runs a batch atomically, fanning per-shard command groups
@@ -395,47 +513,56 @@ func (s *Server) executeMulti(req *wire.Request, resp *wire.Response) {
 		return
 	}
 
+	sc := s.multiPool.Get().(*multiScratch)
+	if len(sc.groups) < s.cfg.Shards {
+		sc.groups = make([][]int, s.cfg.Shards)
+	}
 	// Group command indices by target shard, preserving batch order within
 	// each group (same key ⇒ same shard, so per-key order is preserved).
-	groups := make(map[int][]int, s.cfg.Shards)
-	order := make([]int, 0, s.cfg.Shards)
 	for i := range req.Batch {
 		sh := s.store.shardOf(req.Batch[i].Key)
-		if _, ok := groups[sh]; !ok {
-			order = append(order, sh)
+		if len(sc.groups[sh]) == 0 {
+			sc.order = append(sc.order, sh)
 		}
-		groups[sh] = append(groups[sh], i)
+		sc.groups[sh] = append(sc.groups[sh], i)
 	}
 
-	var results []wire.Result
 	err := s.sys.Atomic(func(tx *wtftm.Tx) error {
-		// Fresh per-attempt buffer: an aborted attempt's future goroutines
-		// may still be finishing their last store.apply when the retry
-		// starts, and they must not scribble on the new attempt's results.
-		attempt := make([]wire.Result, n)
-		if len(order) == 1 {
-			for _, i := range groups[order[0]] {
+		// An aborted attempt's future goroutines may still be finishing
+		// their last store.apply when the retry starts; join them before
+		// reusing the attempt buffer they write into.
+		sc.wg.Wait()
+		if cap(sc.attempt) < n {
+			sc.attempt = make([]wire.Result, n)
+		} else {
+			sc.attempt = sc.attempt[:n]
+			clear(sc.attempt)
+		}
+		attempt := sc.attempt
+		if len(sc.order) == 1 {
+			for _, i := range sc.groups[sc.order[0]] {
 				attempt[i] = s.store.apply(tx, &req.Batch[i])
 			}
 		} else {
-			s.futureFanouts.Add(int64(len(order)))
-			futs := make([]*wtftm.Future, 0, len(order))
-			for _, sh := range order {
-				idxs := groups[sh]
-				futs = append(futs, tx.Submit(func(ftx *wtftm.Tx) (any, error) {
+			s.futureFanouts.Add(int64(len(sc.order)))
+			sc.futs = sc.futs[:0]
+			for _, sh := range sc.order {
+				idxs := sc.groups[sh]
+				sc.wg.Add(1)
+				sc.futs = append(sc.futs, tx.Submit(func(ftx *wtftm.Tx) (any, error) {
+					defer sc.wg.Done()
 					for _, i := range idxs {
 						attempt[i] = s.store.apply(ftx, &req.Batch[i])
 					}
 					return nil, nil
 				}))
 			}
-			for _, f := range futs {
+			for _, f := range sc.futs {
 				if _, err := tx.Evaluate(f); err != nil {
 					return err
 				}
 			}
 		}
-		results = attempt
 		for i := range attempt {
 			if attempt[i].Status == wire.StatusCASMismatch {
 				// Abort the whole batch: no write of this attempt commits.
@@ -449,12 +576,23 @@ func (s *Server) executeMulti(req *wire.Request, resp *wire.Response) {
 	switch {
 	case err == nil:
 		resp.Result = wire.OKResult()
+		resp.Batch = append(resp.Batch[:0], sc.attempt...)
 	case errors.Is(err, errCASMismatch):
 		resp.Result = wire.Result{Status: wire.StatusCASMismatch}
+		resp.Batch = append(resp.Batch[:0], sc.attempt...)
 	default:
 		resp.Result = wire.ErrResult(err.Error())
 	}
-	resp.Batch = results
+
+	// Join stragglers of a finally-aborted attempt before the scratch (and
+	// the request whose Batch the future bodies read) can be recycled.
+	sc.wg.Wait()
+	for _, sh := range sc.order {
+		sc.groups[sh] = sc.groups[sh][:0]
+	}
+	sc.order = sc.order[:0]
+	sc.futs = sc.futs[:0]
+	s.multiPool.Put(sc)
 }
 
 // statsReply assembles the STATS document from the server counters plus the
@@ -468,18 +606,26 @@ func (s *Server) statsReply() wire.StatsReply {
 	)
 	return wire.StatsReply{
 		Server: wire.ServerStats{
-			Ordering:      s.sys.Options().Ordering.String(),
-			Atomicity:     s.sys.Options().Atomicity.String(),
-			Shards:        s.cfg.Shards,
-			Workers:       s.cfg.Workers,
-			ConnsOpened:   s.connsOpened.Load(),
-			ConnsActive:   s.connsActive.Load(),
-			Requests:      s.requests.Load(),
-			KeysServed:    s.keysServed.Load(),
-			MultiBatches:  s.multiBatches.Load(),
-			FutureFanouts: s.futureFanouts.Load(),
-			BadFrames:     s.badFrames.Load(),
-			Draining:      s.draining.Load(),
+			Ordering:       s.sys.Options().Ordering.String(),
+			Atomicity:      s.sys.Options().Atomicity.String(),
+			Shards:         s.cfg.Shards,
+			Workers:        s.cfg.Executors,
+			Executors:      s.cfg.Executors,
+			GroupLimit:     s.cfg.GroupLimit,
+			FlushWindowUS:  s.cfg.FlushWindow.Microseconds(),
+			WriterQueue:    s.cfg.WriterQueue,
+			WriterQueueHWM: s.writerQHWM.Load(),
+			ExecQueueHWM:   s.execQHWM.Load(),
+			GroupCommits:   s.groupCommits.Load(),
+			GroupedOps:     s.groupedOps.Load(),
+			ConnsOpened:    s.connsOpened.Load(),
+			ConnsActive:    s.connsActive.Load(),
+			Requests:       s.requests.Load(),
+			KeysServed:     s.keysServed.Load(),
+			MultiBatches:   s.multiBatches.Load(),
+			FutureFanouts:  s.futureFanouts.Load(),
+			BadFrames:      s.badFrames.Load(),
+			Draining:       s.draining.Load(),
 		},
 		Engine: wire.EngineStats{
 			TopCommits:          e.TopCommits,
@@ -507,7 +653,7 @@ func (s *Server) statsReply() wire.StatsReply {
 
 // Drain shuts the server down gracefully: refuse new connections, stop
 // reading new requests, let every in-flight transaction commit and its
-// response flush, then close all connections and stop the workers. It is
+// response flush, then close all connections and stop the executors. It is
 // idempotent and returns once the server is fully quiescent (no goroutines
 // left).
 func (s *Server) Drain() {
@@ -527,8 +673,10 @@ func (s *Server) Drain() {
 	close(s.quit)
 	s.acceptWG.Wait()
 	s.connWG.Wait()
-	close(s.work)
-	s.workerWG.Wait()
+	for _, ex := range s.execs {
+		close(ex.q)
+	}
+	s.execWG.Wait()
 }
 
 // Close is Drain; the graceful path is cheap enough that an abrupt variant

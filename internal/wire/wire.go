@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Limits. Frames, keys and values above these sizes are protocol errors:
@@ -54,6 +55,19 @@ const (
 	MaxValLen = 1 << 16
 	// MaxMultiOps is the maximum number of sub-commands in one MULTI.
 	MaxMultiOps = 1 << 12
+)
+
+// Retention caps for reused buffers. A single oversized frame or value must
+// not permanently pin its backing array in a pooled object, so the recycling
+// helpers drop anything above these sizes and let steady-state traffic
+// re-grow small buffers on demand.
+const (
+	// MaxRetainedFrame caps the frame buffer kept across ReadFrame calls.
+	MaxRetainedFrame = 64 << 10
+	// maxRetainedVal caps per-command value buffers kept in pooled requests.
+	maxRetainedVal = 4 << 10
+	// maxRetainedBatch caps the Batch capacity kept in pooled objects.
+	maxRetainedBatch = 256
 )
 
 // Op is a request opcode.
@@ -239,6 +253,17 @@ func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
+// RecycleFrameBuf prepares a frame buffer for reuse by the next ReadFrame
+// call. Buffers inflated past MaxRetainedFrame by one oversized frame are
+// dropped rather than kept alive, so a read loop's steady-state footprint is
+// bounded by its actual traffic, not by its largest-ever frame.
+func RecycleFrameBuf(buf []byte) []byte {
+	if cap(buf) > MaxRetainedFrame {
+		return nil
+	}
+	return buf[:0]
+}
+
 // --- encoding --------------------------------------------------------------
 
 func appendUvarint(dst []byte, n uint64) []byte {
@@ -410,49 +435,6 @@ func (r *reader) done() error {
 	return nil
 }
 
-func decodeCmdBody(r *reader, op Op) (Cmd, error) {
-	c := Cmd{Op: op}
-	key, err := r.bytes(MaxKeyLen)
-	if err != nil {
-		return c, err
-	}
-	c.Key = string(key)
-	switch op {
-	case OpGet, OpDel:
-	case OpPut:
-		v, err := r.bytes(MaxValLen)
-		if err != nil {
-			return c, err
-		}
-		c.Val = cloneBytes(v)
-	case OpCAS:
-		flag, err := r.byte()
-		if err != nil {
-			return c, err
-		}
-		switch flag {
-		case 0:
-		case 1:
-			e, err := r.bytes(MaxValLen)
-			if err != nil {
-				return c, err
-			}
-			c.Expect = cloneBytes(e)
-			c.ExpectPresent = true
-		default:
-			return c, fmt.Errorf("wire: bad CAS expect flag %d", flag)
-		}
-		v, err := r.bytes(MaxValLen)
-		if err != nil {
-			return c, err
-		}
-		c.Val = cloneBytes(v)
-	default:
-		return c, fmt.Errorf("%w: %v in command position", ErrBadOp, op)
-	}
-	return c, nil
-}
-
 // cloneBytes copies a sub-slice of the frame buffer so decoded values stay
 // valid after the buffer is reused for the next frame. nil stays nil (the
 // CAS expect-absent marker); empty stays empty-but-present.
@@ -468,52 +450,107 @@ func cloneBytes(b []byte) []byte {
 // DecodeRequest decodes one request payload (a frame body as returned by
 // ReadFrame). It returns an error — never panics — on malformed input.
 func DecodeRequest(payload []byte) (Request, error) {
-	r := reader{b: payload}
 	var req Request
+	err := DecodeRequestInto(&req, payload)
+	return req, err
+}
+
+// DecodeRequestInto decodes one request payload into req, reusing req's
+// Batch storage and per-command value buffers where their capacity allows.
+// It is the allocation-free steady-state decode path: with a pooled request
+// (AcquireRequest) the only unavoidable allocations are the key strings.
+// On error req is left partially filled; release it normally.
+func DecodeRequestInto(req *Request, payload []byte) error {
+	r := reader{b: payload}
 	id, err := r.u32()
 	if err != nil {
-		return req, err
+		return err
 	}
 	op, err := r.byte()
 	if err != nil {
-		return req, err
+		return err
 	}
 	req.ID = id
 	req.Op = Op(op)
 	switch req.Op {
 	case OpGet, OpPut, OpDel, OpCAS:
-		if req.Cmd, err = decodeCmdBody(&r, req.Op); err != nil {
-			return req, err
+		if err := decodeCmdBodyInto(&r, req.Op, &req.Cmd); err != nil {
+			return err
 		}
 	case OpMulti:
 		n, err := r.uvarint(MaxMultiOps)
 		if err != nil {
-			return req, err
+			return err
 		}
-		// Cap the pre-allocation by what the remaining bytes could possibly
-		// hold (every sub-command is ≥ 2 bytes): a tiny frame declaring
+		// Grow req.Batch one command at a time, bounded by the remaining
+		// bytes (every sub-command is ≥ 2 bytes): a tiny frame declaring
 		// MaxMultiOps sub-commands must not allocate for all of them.
-		capHint := int(n)
-		if m := len(r.b) / 2; capHint > m {
-			capHint = m
-		}
-		req.Batch = make([]Cmd, 0, capHint)
+		req.Batch = req.Batch[:0]
 		for i := uint64(0); i < n; i++ {
 			sub, err := r.byte()
 			if err != nil {
-				return req, err
+				return err
 			}
-			c, err := decodeCmdBody(&r, Op(sub))
-			if err != nil {
-				return req, err
+			if int(i) < cap(req.Batch) {
+				req.Batch = req.Batch[:i+1]
+			} else {
+				req.Batch = append(req.Batch, Cmd{})
 			}
-			req.Batch = append(req.Batch, c)
+			if err := decodeCmdBodyInto(&r, Op(sub), &req.Batch[i]); err != nil {
+				return err
+			}
 		}
 	case OpStats, OpPing:
 	default:
-		return req, fmt.Errorf("%w: %d", ErrBadOp, op)
+		return fmt.Errorf("%w: %d", ErrBadOp, op)
 	}
-	return req, r.done()
+	return r.done()
+}
+
+// decodeCmdBodyInto is decodeCmdBody writing into an existing command,
+// reusing its Val/Expect backing arrays.
+func decodeCmdBodyInto(r *reader, op Op, c *Cmd) error {
+	c.Op = op
+	c.ExpectPresent = false
+	key, err := r.bytes(MaxKeyLen)
+	if err != nil {
+		return err
+	}
+	c.Key = string(key)
+	switch op {
+	case OpGet, OpDel:
+	case OpPut:
+		v, err := r.bytes(MaxValLen)
+		if err != nil {
+			return err
+		}
+		c.Val = append(c.Val[:0], v...)
+	case OpCAS:
+		flag, err := r.byte()
+		if err != nil {
+			return err
+		}
+		switch flag {
+		case 0:
+		case 1:
+			e, err := r.bytes(MaxValLen)
+			if err != nil {
+				return err
+			}
+			c.Expect = append(c.Expect[:0], e...)
+			c.ExpectPresent = true
+		default:
+			return fmt.Errorf("wire: bad CAS expect flag %d", flag)
+		}
+		v, err := r.bytes(MaxValLen)
+		if err != nil {
+			return err
+		}
+		c.Val = append(c.Val[:0], v...)
+	default:
+		return fmt.Errorf("%w: %v in command position", ErrBadOp, op)
+	}
+	return nil
 }
 
 func decodeResult(r *reader) (Result, error) {
@@ -581,6 +618,77 @@ func DecodeResponse(payload []byte) (Response, error) {
 	return resp, r.done()
 }
 
+// --- object pools ----------------------------------------------------------
+//
+// The request lifecycle of a busy server decodes, executes and encodes
+// thousands of frames per second; allocating a fresh Request and Response
+// per frame makes the allocator the hot path. These pools recycle both,
+// with retention caps so one giant MULTI or value does not pin its backing
+// arrays forever.
+
+var requestPool = sync.Pool{New: func() any { return new(Request) }}
+var responsePool = sync.Pool{New: func() any { return new(Response) }}
+
+// AcquireRequest returns an empty pooled Request. Pair with ReleaseRequest.
+func AcquireRequest() *Request { return requestPool.Get().(*Request) }
+
+// ReleaseRequest resets req (keeping size-capped backing arrays for reuse)
+// and returns it to the pool. The caller must not retain req, its commands,
+// or their value slices afterwards.
+func ReleaseRequest(req *Request) {
+	req.ID = 0
+	req.Op = 0
+	resetCmd(&req.Cmd)
+	if cap(req.Batch) > maxRetainedBatch {
+		req.Batch = nil
+	} else {
+		for i := range req.Batch {
+			resetCmd(&req.Batch[i])
+		}
+		req.Batch = req.Batch[:0]
+	}
+	requestPool.Put(req)
+}
+
+// resetCmd clears one command, dropping oversized value buffers and the key
+// string (so pooled requests never pin request data).
+func resetCmd(c *Cmd) {
+	c.Op = 0
+	c.Key = ""
+	c.ExpectPresent = false
+	if cap(c.Val) > maxRetainedVal {
+		c.Val = nil
+	} else {
+		c.Val = c.Val[:0]
+	}
+	if cap(c.Expect) > maxRetainedVal {
+		c.Expect = nil
+	} else {
+		c.Expect = c.Expect[:0]
+	}
+}
+
+// AcquireResponse returns an empty pooled Response. Pair with
+// ReleaseResponse (typically after the response frame has been encoded).
+func AcquireResponse() *Response { return responsePool.Get().(*Response) }
+
+// ReleaseResponse resets resp (keeping a size-capped Batch for reuse) and
+// returns it to the pool.
+func ReleaseResponse(resp *Response) {
+	resp.ID = 0
+	resp.Op = 0
+	resp.Result = Result{}
+	if cap(resp.Batch) > maxRetainedBatch {
+		resp.Batch = nil
+	} else {
+		for i := range resp.Batch {
+			resp.Batch[i] = Result{} // drop value references
+		}
+		resp.Batch = resp.Batch[:0]
+	}
+	responsePool.Put(resp)
+}
+
 // --- stats payload ---------------------------------------------------------
 
 // StatsReply is the JSON document carried by a STATS response: the server's
@@ -595,18 +703,38 @@ type StatsReply struct {
 
 // ServerStats are wtfd's own counters and configuration echo.
 type ServerStats struct {
-	Ordering      string `json:"ordering"`
-	Atomicity     string `json:"atomicity"`
-	Shards        int    `json:"shards"`
-	Workers       int    `json:"workers"`
-	ConnsOpened   int64  `json:"conns_opened"`
-	ConnsActive   int64  `json:"conns_active"`
-	Requests      int64  `json:"requests"`
-	KeysServed    int64  `json:"keys_served"`
-	MultiBatches  int64  `json:"multi_batches"`
-	FutureFanouts int64  `json:"future_fanouts"`
-	BadFrames     int64  `json:"bad_frames"`
-	Draining      bool   `json:"draining"`
+	Ordering  string `json:"ordering"`
+	Atomicity string `json:"atomicity"`
+	Shards    int    `json:"shards"`
+	// Workers is a legacy alias of Executors (the shard-affine executor
+	// count), kept so existing consumers keep parsing.
+	Workers int `json:"workers"`
+	// Executors is the shard-affine executor goroutine count; single-key
+	// requests for one shard always run on the same executor.
+	Executors int `json:"executors"`
+	// GroupLimit and FlushWindowUS echo the group-commit bounds (ops per
+	// coalesced transaction; microseconds an executor waits to top a group
+	// off). GroupLimit 1 means coalescing is disabled.
+	GroupLimit    int   `json:"group_limit"`
+	FlushWindowUS int64 `json:"flush_window_us"`
+	// WriterQueue is the configured per-connection response queue depth;
+	// WriterQueueHWM is the deepest any connection's queue has been.
+	WriterQueue    int   `json:"writer_queue"`
+	WriterQueueHWM int64 `json:"writer_queue_hwm"`
+	// ExecQueueHWM is the deepest any executor's run queue has been.
+	ExecQueueHWM int64 `json:"exec_queue_hwm"`
+	// GroupCommits counts coalesced transactions (≥ 2 single-key ops each);
+	// GroupedOps counts the ops they carried.
+	GroupCommits  int64 `json:"group_commits"`
+	GroupedOps    int64 `json:"grouped_ops"`
+	ConnsOpened   int64 `json:"conns_opened"`
+	ConnsActive   int64 `json:"conns_active"`
+	Requests      int64 `json:"requests"`
+	KeysServed    int64 `json:"keys_served"`
+	MultiBatches  int64 `json:"multi_batches"`
+	FutureFanouts int64 `json:"future_fanouts"`
+	BadFrames     int64 `json:"bad_frames"`
+	Draining      bool  `json:"draining"`
 }
 
 // EngineStats mirrors wtftm.StatsSnapshot field-for-field (kept as a plain

@@ -189,3 +189,98 @@ func TestDecodeValuesAreCopies(t *testing.T) {
 		t.Fatalf("decoded value aliases the frame buffer: %q", req.Cmd.Val)
 	}
 }
+
+// TestRecycleFrameBufCapsRetention is the regression test for the read-loop
+// buffer-growth bug: one oversized frame used to ratchet the loop's reusable
+// buffer up permanently (every later 20-byte request pinned a multi-megabyte
+// backing array). RecycleFrameBuf must keep ordinary buffers and drop any
+// whose capacity outgrew MaxRetainedFrame.
+func TestRecycleFrameBufCapsRetention(t *testing.T) {
+	small := make([]byte, 100, 1024)
+	kept := RecycleFrameBuf(small)
+	if kept == nil || cap(kept) != 1024 || len(kept) != 0 {
+		t.Fatalf("RecycleFrameBuf(small) = len %d cap %d, want reused empty buffer of cap 1024", len(kept), cap(kept))
+	}
+	if &kept[:1][0] != &small[:1][0] {
+		t.Fatalf("RecycleFrameBuf(small) reallocated instead of reusing the backing array")
+	}
+
+	big := make([]byte, MaxRetainedFrame+1)
+	if got := RecycleFrameBuf(big); got != nil {
+		t.Fatalf("RecycleFrameBuf(big) retained a cap-%d buffer; want nil (dropped)", cap(got))
+	}
+	// Exactly at the cap is still retained.
+	edge := make([]byte, MaxRetainedFrame)
+	if got := RecycleFrameBuf(edge); got == nil {
+		t.Fatalf("RecycleFrameBuf(edge) dropped a buffer exactly at MaxRetainedFrame; want retained")
+	}
+
+	// End to end: after a large frame passes through the recycle step, the
+	// next ReadFrame must start from a fresh small allocation, not the
+	// large backing array.
+	var out bytes.Buffer
+	bigPayload := bytes.Repeat([]byte{0xab}, MaxRetainedFrame+512)
+	if err := WriteFrame(&out, bigPayload); err != nil {
+		t.Fatalf("WriteFrame(big): %v", err)
+	}
+	if err := WriteFrame(&out, []byte("tiny")); err != nil {
+		t.Fatalf("WriteFrame(tiny): %v", err)
+	}
+	r := bufio.NewReader(&out)
+	buf, err := ReadFrame(r, nil)
+	if err != nil {
+		t.Fatalf("ReadFrame(big): %v", err)
+	}
+	if len(buf) != len(bigPayload) {
+		t.Fatalf("ReadFrame(big) = %d bytes, want %d", len(buf), len(bigPayload))
+	}
+	buf = RecycleFrameBuf(buf)
+	buf, err = ReadFrame(r, buf)
+	if err != nil {
+		t.Fatalf("ReadFrame(tiny): %v", err)
+	}
+	if string(buf) != "tiny" {
+		t.Fatalf("ReadFrame(tiny) = %q", buf)
+	}
+	if cap(buf) > MaxRetainedFrame {
+		t.Fatalf("read loop retained cap %d after recycle; want <= %d", cap(buf), MaxRetainedFrame)
+	}
+}
+
+// TestPooledObjectsDropOversizedBuffers pins the same policy for the pooled
+// request/response lifecycle: release must clear request data (no pinned
+// keys or values) and drop any backing array that outgrew the retention
+// caps, while keeping ordinary ones for reuse.
+func TestPooledObjectsDropOversizedBuffers(t *testing.T) {
+	req := AcquireRequest()
+	req.ID = 9
+	req.Op = OpPut
+	req.Cmd = Put("k", bytes.Repeat([]byte{1}, maxRetainedVal+1))
+	req.Batch = make([]Cmd, maxRetainedBatch+1)
+	ReleaseRequest(req)
+
+	req2 := AcquireRequest()
+	defer ReleaseRequest(req2)
+	if req2.ID != 0 || req2.Op != 0 || req2.Cmd.Key != "" || len(req2.Cmd.Val) != 0 || len(req2.Batch) != 0 {
+		t.Fatalf("pooled request not reset: %+v", req2)
+	}
+	if cap(req2.Cmd.Val) > maxRetainedVal || cap(req2.Batch) > maxRetainedBatch {
+		t.Fatalf("pooled request retained oversized buffers: val cap %d batch cap %d", cap(req2.Cmd.Val), cap(req2.Batch))
+	}
+
+	resp := AcquireResponse()
+	resp.ID = 9
+	resp.Result = ValResult([]byte("v"))
+	resp.Batch = append(resp.Batch, ValResult([]byte("w")))
+	ReleaseResponse(resp)
+	resp2 := AcquireResponse()
+	defer ReleaseResponse(resp2)
+	if resp2.ID != 0 || resp2.Result.Val != nil || len(resp2.Batch) != 0 {
+		t.Fatalf("pooled response not reset: %+v", resp2)
+	}
+	for _, r := range resp2.Batch[:cap(resp2.Batch)] {
+		if r.Val != nil {
+			t.Fatalf("pooled response batch still references values")
+		}
+	}
+}

@@ -54,14 +54,33 @@ printf '%s\n' "$RAW" | grep '^Benchmark' || true
 SRVOUT=BENCH_server.json
 SRVRES=$(go run ./cmd/wtfbench -exp server -quick -duration 150ms -json | jq '.result')
 
+# Request-path allocation benchmarks: ns/op + allocs/op of the pooled
+# decode -> execute -> encode lifecycle (the ci.sh <= 2 allocs/op gate).
+SRVRAW=$(go test -run '^$' -bench 'BenchmarkServerEcho$|BenchmarkServerGetPath$' \
+	-benchtime "$BENCHTIME" -benchmem ./internal/server/)
+
+SRVBENCHES=$(printf '%s\n' "$SRVRAW" | awk '
+	/^Benchmark/ {
+		name = $1; iters = $2; ns = $3; bop = ""; allocs = ""
+		for (i = 4; i <= NF; i++) {
+			if ($(i) == "B/op")      bop = $(i-1)
+			if ($(i) == "allocs/op") allocs = $(i-1)
+		}
+		printf "{\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", name, iters, ns
+		if (bop != "")    printf ",\"b_per_op\":%s", bop
+		if (allocs != "") printf ",\"allocs_per_op\":%s", allocs
+		print "}"
+	}' | jq -s .)
+
 SRVMETA=$(jq -n \
 	--arg lbl "$LABEL" \
 	--arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
 	--arg rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 	--arg go "$(go version | awk '{print $3}')" \
 	--argjson cpus "$(nproc)" \
+	--argjson benches "$SRVBENCHES" \
 	--argjson result "$SRVRES" \
-	'{"label":$lbl,"date":$date,"rev":$rev,"go":$go,"cpus":$cpus,"result":$result}')
+	'{"label":$lbl,"date":$date,"rev":$rev,"go":$go,"cpus":$cpus,"benches":$benches,"result":$result}')
 
 if [ -f "$SRVOUT" ]; then
 	jq --argjson entry "$SRVMETA" '. + [$entry]' "$SRVOUT" >"$SRVOUT.tmp" && mv "$SRVOUT.tmp" "$SRVOUT"

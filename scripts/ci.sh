@@ -15,8 +15,8 @@ go test ./...
 echo "== tier-1.5: vet =="
 go vet ./...
 
-echo "== tier-1.5: race (mvstm + core + conform + wtfd server/wire) =="
-go test -race ./internal/mvstm/ ./internal/core/ ./internal/conform/ ./internal/server/ ./internal/wire/
+echo "== tier-1.5: race (mvstm + core + conform + wtfd server/client/wire) =="
+go test -race ./internal/mvstm/ ./internal/core/ ./internal/conform/ ./internal/server/ ./internal/client/ ./internal/wire/
 
 echo "== tier-1.5: coverage floors (core >= 80%, fsg >= 85%) =="
 check_cover() {
@@ -47,6 +47,22 @@ go run ./cmd/wtfconform -mode dfs -seed 1 -seeds 4 -budget 300 -futures 2 -depth
 
 echo "== tier-1.5: guard benchmarks (smoke run: hot paths must still complete) =="
 go test -run '^$' -bench 'ReadDepth|BeginFinish' -benchtime 200ms ./internal/bench/ ./internal/mvstm/
+
+echo "== tier-1.5: server request-path allocation guard (<= 2 allocs/op) =="
+# The serving hot loop (pooled decode -> execute -> append-encode -> recycle)
+# must stay allocation-free in steady state; anything above the floor means a
+# pooled object or buffer started leaking to the heap again.
+ALLOCS=$(go test -run '^$' -bench 'BenchmarkServerEcho$' -benchtime 20000x -benchmem ./internal/server/ |
+	awk '/^BenchmarkServerEcho/ { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }')
+if [ -z "$ALLOCS" ]; then
+	echo "ci: BenchmarkServerEcho reported no allocs/op" >&2
+	exit 1
+fi
+if [ "$ALLOCS" -gt 2 ]; then
+	echo "ci: server request path allocates ${ALLOCS} allocs/op, floor is 2" >&2
+	exit 1
+fi
+echo "   BenchmarkServerEcho: ${ALLOCS} allocs/op (floor 2)"
 
 echo "== tier-1.5: wtfconform smoke (conform_fault build: must catch the bug) =="
 if go run -tags conform_fault ./cmd/wtfconform -mode dfs -ordering wo -atomicity lac -seed 1 -seeds 8 -budget 300; then
