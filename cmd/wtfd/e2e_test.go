@@ -1,0 +1,161 @@
+package main
+
+// End-to-end recovery smoke against the real wtfd binary: build it, serve a
+// workload, kill -9 the process, restart it on the same data directory and
+// verify every acknowledged write came back. This is the one test in the
+// tree that exercises the whole stack — flag parsing, boot recovery, the
+// serving path and OS-level durability — as separate processes, the way an
+// operator runs it. scripts/ci.sh runs it as the recovery smoke.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"wtftm/internal/client"
+)
+
+// buildWTFD compiles the daemon once per test binary invocation.
+func buildWTFD(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "wtfd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// wtfdProc is one running daemon plus the address parsed from its banner.
+type wtfdProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startWTFD launches the binary with -listen 127.0.0.1:0 and the given extra
+// flags, then parses the bound address from the "serving on" stderr banner.
+func startWTFD(t *testing.T, bin string, extra ...string) *wtfdProc {
+	t.Helper()
+	args := append([]string{"-listen", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start wtfd: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if _, rest, ok := strings.Cut(line, "serving on "); ok {
+				addr, _, _ := strings.Cut(rest, " ")
+				addrCh <- addr
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full stderr pipe.
+		io.Copy(io.Discard, stderr)
+	}()
+	select {
+	case addr := <-addrCh:
+		return &wtfdProc{cmd: cmd, addr: addr}
+	case <-time.After(30 * time.Second):
+		t.Fatal("wtfd never printed its serving banner")
+		return nil
+	}
+}
+
+func TestRecoverySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := buildWTFD(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	flags := []string{"-data-dir", dataDir, "-fsync", "group", "-shards", "4", "-snapshot-every", "64"}
+
+	// Phase 1: serve a workload, then kill -9 mid-flight.
+	p1 := startWTFD(t, bin, flags...)
+	cl := client.New(client.Options{Addr: p1.addr, Conns: 2})
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := cl.Put(fmt.Sprintf("k%04d", i), fmt.Sprintf("v%04d", i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if _, err := cl.Del("k0000"); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if err := p1.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+
+	// Phase 2: restart on the same directory; every acked write must be back.
+	p2 := startWTFD(t, bin, flags...)
+	cl2 := client.New(client.Options{Addr: p2.addr, Conns: 2})
+	if _, ok, err := cl2.Get("k0000"); err != nil || ok {
+		t.Fatalf("k0000 after recovery: ok=%v err=%v, want deleted", ok, err)
+	}
+	for i := 1; i < n; i++ {
+		k, want := fmt.Sprintf("k%04d", i), fmt.Sprintf("v%04d", i)
+		v, ok, err := cl2.Get(k)
+		if err != nil || !ok || v != want {
+			t.Fatalf("Get(%s) after kill -9 = %q ok=%v err=%v, want %q", k, v, ok, err, want)
+		}
+	}
+	st, err := cl2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WAL == nil || st.WAL.RecoveredRecords == 0 {
+		t.Fatalf("restart recovered no WAL records: %+v", st.WAL)
+	}
+	// Write through the recovered log, shut down gracefully this time.
+	if err := cl2.Put("post-restart", "alive"); err != nil {
+		t.Fatal(err)
+	}
+	cl2.Close()
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p2.cmd, 30*time.Second)
+
+	// Phase 3: a graceful shutdown preserved everything, including the
+	// post-recovery write.
+	p3 := startWTFD(t, bin, flags...)
+	cl3 := client.New(client.Options{Addr: p3.addr, Conns: 1})
+	defer cl3.Close()
+	if v, ok, err := cl3.Get("post-restart"); err != nil || !ok || v != "alive" {
+		t.Fatalf("post-restart key = %q ok=%v err=%v", v, ok, err)
+	}
+	if v, ok, err := cl3.Get("k0137"); err != nil || !ok || v != "v0137" {
+		t.Fatalf("k0137 = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func waitExit(t *testing.T, cmd *exec.Cmd, d time.Duration) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(d):
+		cmd.Process.Kill()
+		t.Fatal("wtfd did not exit after SIGTERM")
+	}
+}

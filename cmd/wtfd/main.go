@@ -8,12 +8,26 @@
 //	wtfd [-listen addr] [-shards n] [-buckets n] [-executors n]
 //	     [-group-limit n] [-flush-window d] [-writer-queue n]
 //	     [-ordering wo|so] [-atomicity lac|gac] [-stats interval]
-//	     [-pprof addr]
+//	     [-data-dir dir] [-fsync always|group|off] [-commit-delay d]
+//	     [-snapshot-every n] [-segment-bytes n] [-pprof addr]
 //
 // The -ordering flag selects the future semantics MULTI batches run under:
 // wo (weakly ordered, the paper's WTF-TM) or so (strongly ordered, the JTF
 // baseline). -stats periodically prints the server/engine/substrate counter
 // snapshot — the same document the STATS wire op returns — to stderr.
+//
+// -data-dir enables durability (DESIGN.md §11): every shard keeps a
+// write-ahead log and rolling snapshots under the directory, boot recovers
+// the store from them, and writes are acknowledged only once they satisfy
+// the -fsync policy — group (default) runs one coalesced fsync barrier per
+// commit group, always fsyncs every append, off defers syncing to segment
+// rotation and shutdown (a power cut may lose the unsynced tail, a graceful
+// shutdown loses nothing). -commit-delay is how long the group-commit ack
+// daemon holds its fsync barrier open for more commits to join (default
+// 1ms; negative = fsync immediately) — added write latency traded for fsync
+// amortization. -snapshot-every checkpoints a shard after that many log
+// records (0 = default 65536, negative = never); -segment-bytes sets the
+// log rotation threshold.
 //
 // -executors sizes the shard-affine executor pool (each executor owns a
 // subset of shards and serializes their single-key requests); -group-limit
@@ -40,6 +54,7 @@ import (
 
 	"wtftm"
 	"wtftm/internal/server"
+	"wtftm/internal/wal"
 )
 
 func main() {
@@ -54,18 +69,33 @@ func main() {
 		ordering    = flag.String("ordering", "wo", "futures ordering semantics: wo|so")
 		atomicity   = flag.String("atomicity", "lac", "escaping-future atomicity: lac|gac")
 		stats       = flag.Duration("stats", 0, "print counter snapshots at this interval (0 = off)")
+		dataDir     = flag.String("data-dir", "", "durability directory: per-shard WAL + snapshots, recovered on boot (empty = memory-only)")
+		fsync       = flag.String("fsync", "group", "when to fsync the WAL before acking writes: always|group|off")
+		commitDelay = flag.Duration("commit-delay", 0, "group-commit window: how long to hold the fsync barrier open for more commits (0 = default 1ms, negative = no wait)")
+		snapEvery   = flag.Int64("snapshot-every", 0, "checkpoint a shard after this many WAL records (0 = default 65536, negative = never)")
+		segBytes    = flag.Int64("segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
-		Shards:      *shards,
-		Buckets:     *buckets,
-		Executors:   *executors,
-		GroupLimit:  *groupLimit,
-		FlushWindow: *flushWindow,
-		WriterQueue: *writerQueue,
+		Shards:        *shards,
+		Buckets:       *buckets,
+		Executors:     *executors,
+		GroupLimit:    *groupLimit,
+		FlushWindow:   *flushWindow,
+		WriterQueue:   *writerQueue,
+		DataDir:       *dataDir,
+		CommitDelay:   *commitDelay,
+		SnapshotEvery: *snapEvery,
+		SegmentBytes:  *segBytes,
 	}
+	pol, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wtfd: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Fsync = pol
 	switch *ordering {
 	case "wo":
 		cfg.Ordering = wtftm.WO
@@ -94,13 +124,21 @@ func main() {
 		}()
 	}
 
-	s := server.New(cfg)
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wtfd: %v\n", err)
+		os.Exit(1)
+	}
 	if err := s.Listen(*listen); err != nil {
 		fmt.Fprintf(os.Stderr, "wtfd: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wtfd: serving on %s (shards=%d ordering=%s atomicity=%s)\n",
-		s.Addr(), *shards, *ordering, *atomicity)
+	durable := "memory-only"
+	if *dataDir != "" {
+		durable = fmt.Sprintf("data-dir=%s fsync=%s", *dataDir, pol)
+	}
+	fmt.Fprintf(os.Stderr, "wtfd: serving on %s (shards=%d ordering=%s atomicity=%s %s)\n",
+		s.Addr(), *shards, *ordering, *atomicity, durable)
 
 	if *stats > 0 {
 		go func() {

@@ -39,7 +39,10 @@ const (
 func key(i int) string { return fmt.Sprintf("acct-%04d", i) }
 
 func main() {
-	srv := server.New(server.Config{Ordering: wtftm.WO, Shards: 8})
+	srv, err := server.New(server.Config{Ordering: wtftm.WO, Shards: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"wtftm/internal/client"
 	"wtftm/internal/core"
 	"wtftm/internal/server"
+	"wtftm/internal/wal"
 	"wtftm/internal/wire"
 	"wtftm/internal/workload"
 )
@@ -48,6 +50,20 @@ type ServerParams struct {
 	// shard-affine executor goroutines × group-commit flush window (µs).
 	Executors      []int
 	FlushWindowsUS []int64
+	// FsyncModes defines the durability sub-sweep: "mem" serves memory-only
+	// (the baseline every durable mode is normalized against), the rest run
+	// with a WAL in a throwaway data directory under that -fsync policy
+	// ("off", "group", "always").
+	FsyncModes []string
+	// DurShards and DurPipeline shape the durability sub-sweep (every mode,
+	// including the "mem" baseline, runs the same shape, so the rows compare
+	// directly). The pipeline is deep — group commit amortizes fsyncs across
+	// concurrent writes, so it needs concurrency to amortize against — and
+	// the shard count modest, because each shard is its own WAL file and
+	// fsync stream: dividing the write arrival 16 ways starves every
+	// stream's batch.
+	DurShards   int
+	DurPipeline int
 }
 
 // DefaultServer returns a host-scaled parameter set: ≥3 client counts and
@@ -63,6 +79,9 @@ func DefaultServer(quick bool) ServerParams {
 		WriteRatio:     0.2,
 		Executors:      []int{1, 2, 4},
 		FlushWindowsUS: []int64{0, 50, 200},
+		FsyncModes:     []string{"mem", "off", "group", "always"},
+		DurShards:      4,
+		DurPipeline:    32,
 	}
 	if quick {
 		p.Clients = []int{1, 2, 4}
@@ -86,6 +105,12 @@ type ServerPoint struct {
 	// (0 = server default).
 	Executors     int
 	FlushWindowUS int64
+	// Fsync is the durability mode the point ran under ("" for the plain
+	// memory-only sweep, "mem"/"off"/"group"/"always" in the durability
+	// sub-sweep); Fsyncs and WALRecords echo the server's WAL counters.
+	Fsync      string
+	Fsyncs     int64
+	WALRecords int64
 	// ReqPerSec is completed requests (frames) per second.
 	ReqPerSec float64
 	// KeysPerSec is ReqPerSec × batch: per-key serving rate.
@@ -147,7 +172,55 @@ func RunServer(cfg Config, p ServerParams) (*ServerResult, error) {
 			}
 		}
 	}
+	// Durability sweep: one deep-pipelined single-key shape across fsync
+	// modes, so the cost of each ack policy reads directly against the
+	// memory-only ("mem") baseline row (see DurShards/DurPipeline).
+	if len(p.FsyncModes) > 0 {
+		clients := maxInt(p.Clients)
+		pipe := p.DurPipeline
+		if pipe <= 0 {
+			pipe = maxInt(p.Pipeline)
+		}
+		for _, mode := range p.FsyncModes {
+			pt, err := runDurablePoint(cfg, p, clients, pipe, mode)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, pt)
+			cfg.progress("server fsync=%s done", mode)
+		}
+	}
 	return res, nil
+}
+
+// runDurablePoint measures one durability mode: "mem" is the plain in-memory
+// server, anything else runs a WAL in a fresh temporary data directory
+// (removed afterwards) under that sync policy.
+func runDurablePoint(cfg Config, p ServerParams, clients, pipe int, mode string) (ServerPoint, error) {
+	shards := p.DurShards
+	if shards <= 0 {
+		shards = p.Shards
+	}
+	scfg := server.Config{Ordering: core.WO, Shards: shards}
+	if mode != "mem" {
+		pol, err := wal.ParseSyncPolicy(mode)
+		if err != nil {
+			return ServerPoint{}, err
+		}
+		dir, err := os.MkdirTemp("", "wtfd-bench-")
+		if err != nil {
+			return ServerPoint{}, err
+		}
+		defer os.RemoveAll(dir)
+		scfg.DataDir = dir
+		scfg.Fsync = pol
+	}
+	pt, err := runServerConfigPoint(cfg, p, scfg, clients, 1, pipe)
+	if err != nil {
+		return ServerPoint{}, err
+	}
+	pt.Fsync = mode
+	return pt, nil
 }
 
 func maxInt(xs []int) int {
@@ -161,12 +234,21 @@ func maxInt(xs []int) int {
 }
 
 func runServerPoint(cfg Config, p ServerParams, ord core.Ordering, clients, batch, pipe int, execs int, winUS int64) (ServerPoint, error) {
-	srv := server.New(server.Config{
+	return runServerConfigPoint(cfg, p, server.Config{
 		Ordering:    ord,
 		Shards:      p.Shards,
 		Executors:   execs,
 		FlushWindow: time.Duration(winUS) * time.Microsecond,
-	})
+	}, clients, batch, pipe)
+}
+
+// runServerConfigPoint runs one closed-loop measurement against a fresh
+// server built from scfg.
+func runServerConfigPoint(cfg Config, p ServerParams, scfg server.Config, clients, batch, pipe int) (ServerPoint, error) {
+	srv, err := server.New(scfg)
+	if err != nil {
+		return ServerPoint{}, err
+	}
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
 		return ServerPoint{}, err
 	}
@@ -270,18 +352,22 @@ func runServerPoint(cfg Config, p ServerParams, ord core.Ordering, clients, batc
 		return ServerPoint{}, firstErr
 	}
 	pt := ServerPoint{
-		Ordering:      ord.String(),
+		Ordering:      scfg.Ordering.String(),
 		Clients:       clients,
 		Batch:         batch,
 		Pipeline:      pipe,
-		Executors:     execs,
-		FlushWindowUS: winUS,
+		Executors:     scfg.Executors,
+		FlushWindowUS: scfg.FlushWindow.Microseconds(),
 		ReqPerSec:     float64(totalReq) / cfg.Duration.Seconds(),
 		KeysPerSec:    float64(totalReq*int64(batch)) / cfg.Duration.Seconds(),
 	}
 	if st := statsOf(addr); st != nil {
 		pt.GroupCommits = st.Server.GroupCommits - groupsBefore
 		pt.GroupedOps = st.Server.GroupedOps - opsBefore
+		if st.WAL != nil {
+			pt.Fsyncs = st.WAL.Fsyncs
+			pt.WALRecords = st.WAL.AppendedRecords
+		}
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pt.P50 = percentile(lats, 0.50)
@@ -317,7 +403,7 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 // with the executor × flush-window tuning grid at the bottom.
 func (r *ServerResult) Print(w io.Writer) {
 	fmt.Fprintln(w, "wtfd end-to-end: MULTI fan-out under WO vs SO futures (closed loop, loopback TCP)")
-	t := newTable("ordering", "clients", "batch", "pipe", "execs", "window", "req/s", "keys/s", "p50", "p99", "grouped")
+	t := newTable("ordering", "clients", "batch", "pipe", "execs", "window", "fsync", "req/s", "keys/s", "p50", "p99", "grouped")
 	for _, pt := range r.Points {
 		execs := "auto"
 		if pt.Executors > 0 {
@@ -327,8 +413,12 @@ func (r *ServerResult) Print(w io.Writer) {
 		if pt.GroupedOps > 0 {
 			grouped = fmt.Sprintf("%d/%d", pt.GroupedOps, pt.GroupCommits)
 		}
+		fsync := "-"
+		if pt.Fsync != "" {
+			fsync = pt.Fsync
+		}
 		t.add(pt.Ordering, fmt.Sprint(pt.Clients), fmt.Sprint(pt.Batch), fmt.Sprint(pt.Pipeline),
-			execs, (time.Duration(pt.FlushWindowUS) * time.Microsecond).String(),
+			execs, (time.Duration(pt.FlushWindowUS) * time.Microsecond).String(), fsync,
 			fmt.Sprintf("%.0f", pt.ReqPerSec), fmt.Sprintf("%.0f", pt.KeysPerSec),
 			pt.P50.Round(time.Microsecond).String(), pt.P99.Round(time.Microsecond).String(), grouped)
 	}

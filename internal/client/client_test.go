@@ -12,7 +12,10 @@ import (
 // it on the same address, and checks the client transparently redials: calls
 // in flight on the dead connection fail, later calls succeed again.
 func TestReconnectAfterRestart(t *testing.T) {
-	s1 := server.New(server.Config{Shards: 2})
+	s1, err := server.New(server.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s1.Listen("127.0.0.1:0"); err != nil {
 		t.Fatalf("Listen: %v", err)
 	}
@@ -34,7 +37,10 @@ func TestReconnectAfterRestart(t *testing.T) {
 	}
 
 	// Restart on the same port (Go listeners set SO_REUSEADDR).
-	s2 := server.New(server.Config{Shards: 2})
+	s2, err := server.New(server.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		t.Fatalf("rebind %s: %v", addr, err)
@@ -64,7 +70,10 @@ func TestReconnectAfterRestart(t *testing.T) {
 
 // TestCallsOnClosedClient checks Close is terminal and safe.
 func TestCallsOnClosedClient(t *testing.T) {
-	s := server.New(server.Config{Shards: 2})
+	s, err := server.New(server.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +92,10 @@ func TestCallsOnClosedClient(t *testing.T) {
 // TestPoolSpreadsConnections checks Conns > 1 actually opens that many
 // server-side connections under concurrent use.
 func TestPoolSpreadsConnections(t *testing.T) {
-	s := server.New(server.Config{Shards: 2})
+	s, err := server.New(server.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,300 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wtftm/internal/wal"
+)
+
+// Options configures Open.
+type Options struct {
+	// FS is the file layer; nil means the real file system.
+	FS wal.FS
+	// Dir is the data directory; each shard gets Dir/shard-%03d.
+	Dir string
+	// Shards is the shard count; must match the server's.
+	Shards int
+	// Sync is the WAL fsync policy.
+	Sync wal.SyncPolicy
+	// SegmentBytes is the WAL rotation threshold (0 = wal default).
+	SegmentBytes int64
+	// SnapshotEvery triggers an async checkpoint after this many records
+	// appended to a shard's log; 0 disables automatic checkpoints.
+	SnapshotEvery int64
+
+	// Source walks a shard's live entries (called with the shard's commit
+	// lock held, so the walk is consistent with the log frontier).
+	Source func(shard int, emit func(key string, val []byte) error) error
+	// Restore installs one snapshot entry during recovery.
+	Restore func(shard int, key string, val []byte) error
+	// Apply replays one committed WAL batch payload during recovery.
+	Apply func(shard int, seq uint64, payload []byte) error
+}
+
+// Stats is a point-in-time aggregate over all shards.
+type Stats struct {
+	wal.Stats
+	// Snapshots counts snapshots written by this process.
+	Snapshots int64
+	// SnapshotErrors counts failed checkpoint attempts.
+	SnapshotErrors int64
+	// LastSnapshotSeq is the highest seq any durable snapshot covers.
+	LastSnapshotSeq uint64
+	// LastSnapshotUnixNano is the wall-clock completion time of the newest
+	// checkpoint (0 if none this process); STATS reports its age.
+	LastSnapshotUnixNano int64
+	// RecoveredRecords counts WAL records replayed at Open.
+	RecoveredRecords int64
+}
+
+// shardDur is one shard's durability state.
+type shardDur struct {
+	mu     sync.Mutex // commit-order lock: held across STM commit + log append
+	ckptMu sync.Mutex // serializes whole checkpoints (async kick + sync calls)
+	log    *wal.Log
+	dir    string
+
+	snapSeq     uint64 // newest durable snapshot's covered seq (under mu)
+	prevSnapSeq uint64 // the retained older snapshot's seq (under mu)
+
+	sinceCkpt   atomic.Int64
+	ckptRunning atomic.Bool
+}
+
+// Manager owns per-shard WALs and snapshots. Lock/Append/Sync form the
+// commit path; checkpoints run asynchronously; Close drains and syncs
+// everything.
+type Manager struct {
+	opts   Options
+	fs     wal.FS
+	shards []*shardDur
+	wg     sync.WaitGroup
+
+	snaps       atomic.Int64
+	snapErrs    atomic.Int64
+	lastSnapSeq atomic.Uint64
+	lastSnapNs  atomic.Int64
+	recovered   atomic.Int64
+}
+
+// Open opens every shard's log, recovers state through the Restore and Apply
+// callbacks (latest valid snapshot, then the log suffix), and returns a
+// manager ready for the commit path.
+func Open(opts Options) (*Manager, error) {
+	if opts.Shards <= 0 {
+		return nil, errors.New("persist: Shards must be positive")
+	}
+	if opts.Source == nil || opts.Restore == nil || opts.Apply == nil {
+		return nil, errors.New("persist: Source, Restore and Apply are required")
+	}
+	m := &Manager{opts: opts, fs: opts.FS}
+	if m.fs == nil {
+		m.fs = wal.OSFS{}
+	}
+	m.shards = make([]*shardDur, opts.Shards)
+	for i := range m.shards {
+		s := &shardDur{dir: path.Join(opts.Dir, fmt.Sprintf("shard-%03d", i))}
+		log, err := wal.Open(wal.Options{
+			FS:           m.fs,
+			Dir:          s.dir,
+			SegmentBytes: opts.SegmentBytes,
+			Sync:         opts.Sync,
+		})
+		if err != nil {
+			m.closePartial(i)
+			return nil, err
+		}
+		s.log = log
+		if err := m.recoverShard(i, s); err != nil {
+			log.Close()
+			m.closePartial(i)
+			return nil, err
+		}
+		m.shards[i] = s
+	}
+	return m, nil
+}
+
+func (m *Manager) closePartial(n int) {
+	for _, s := range m.shards[:n] {
+		if s != nil {
+			s.log.Close()
+		}
+	}
+}
+
+// recoverShard rebuilds shard i: snapshot entries via Restore, then the log
+// records past the snapshot via Apply. The replayed suffix must be contiguous
+// from the snapshot seq — a gap means compaction outran every loadable
+// snapshot (unrecoverable media damage), which is an error, not silence.
+func (m *Manager) recoverShard(i int, s *shardDur) error {
+	snapSeq, ok, err := loadSnapshot(m.fs, s.dir, i, func(key string, val []byte) error {
+		return m.opts.Restore(i, key, val)
+	})
+	if err != nil {
+		return err
+	}
+	if ok {
+		s.snapSeq = snapSeq
+		s.prevSnapSeq = snapSeq
+		m.lastSnapSeq.Store(max(m.lastSnapSeq.Load(), snapSeq))
+	}
+	expect := snapSeq + 1
+	err = s.log.Replay(snapSeq, func(seq uint64, payload []byte) error {
+		if seq != expect {
+			return fmt.Errorf("persist: shard %d: log gap at seq %d (want %d): snapshot lost", i, seq, expect)
+		}
+		expect++
+		m.recovered.Add(1)
+		return m.opts.Apply(i, seq, payload)
+	})
+	if err != nil {
+		return err
+	}
+	// A snapshot newer than the whole log would make future appends replay-
+	// invisible; checkpoint syncs the log before publishing, so this is
+	// damage, not a normal crash.
+	if last := s.log.LastSeq(); last < s.snapSeq {
+		return fmt.Errorf("persist: shard %d: snapshot covers seq %d but log ends at %d", i, s.snapSeq, last)
+	}
+	return nil
+}
+
+// Lock acquires shard's commit-order lock. The caller holds it across the
+// STM commit and the matching Append, so log order equals commit order.
+func (m *Manager) Lock(shard int) { m.shards[shard].mu.Lock() }
+
+// Unlock releases shard's commit-order lock.
+func (m *Manager) Unlock(shard int) { m.shards[shard].mu.Unlock() }
+
+// Append appends one committed batch to shard's log. Caller must hold
+// Lock(shard). Durability on return follows the sync policy: under
+// SyncAlways the record is durable; under SyncGroup call Sync before
+// acknowledging.
+func (m *Manager) Append(shard int, payload []byte) (uint64, error) {
+	s := m.shards[shard]
+	seq, err := s.log.Append(payload)
+	if err != nil {
+		return 0, err
+	}
+	if n := s.sinceCkpt.Add(1); m.opts.SnapshotEvery > 0 && n >= m.opts.SnapshotEvery {
+		m.kickCheckpoint(shard, s)
+	}
+	return seq, nil
+}
+
+// Sync is shard's group-commit durability barrier (coalescing; see
+// wal.Log.Sync). Call without holding Lock.
+func (m *Manager) Sync(shard int) error { return m.shards[shard].log.Sync() }
+
+// kickCheckpoint starts an async checkpoint for shard unless one is already
+// running. Failures are counted, not fatal: the log keeps the data.
+func (m *Manager) kickCheckpoint(shard int, s *shardDur) {
+	if !s.ckptRunning.CompareAndSwap(false, true) {
+		return
+	}
+	s.sinceCkpt.Store(0)
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer s.ckptRunning.Store(false)
+		if err := m.checkpointShard(shard); err != nil {
+			m.snapErrs.Add(1)
+		}
+	}()
+}
+
+// Checkpoint synchronously snapshots one shard and compacts its log. Safe to
+// call concurrently with the commit path.
+func (m *Manager) Checkpoint(shard int) error { return m.checkpointShard(shard) }
+
+func (m *Manager) checkpointShard(shard int) error {
+	s := m.shards[shard]
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	// Capture under the commit lock: entry set == log prefix 1..seq exactly.
+	s.mu.Lock()
+	seq := s.log.LastSeq()
+	if seq == s.snapSeq {
+		s.mu.Unlock()
+		return nil
+	}
+	var enc snapEncoder
+	err := m.opts.Source(shard, func(key string, val []byte) error {
+		enc.add(key, val)
+		return nil
+	})
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	// The snapshot must never cover more than the durable log (recovery
+	// replays from snapSeq and a shorter log would strand future appends
+	// behind already-replayed seqs), so force the log through seq first.
+	if err := s.log.Sync(); err != nil {
+		return err
+	}
+	if err := writeSnapshot(m.fs, s.dir, shard, seq, &enc); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	compactThrough := s.snapSeq // the snapshot that now becomes "previous"
+	s.prevSnapSeq = s.snapSeq
+	s.snapSeq = seq
+	s.mu.Unlock()
+
+	m.snaps.Add(1)
+	m.lastSnapSeq.Store(max(m.lastSnapSeq.Load(), seq))
+	m.lastSnapNs.Store(time.Now().UnixNano())
+
+	// Retain the {previous, new} snapshot pair; the log keeps everything the
+	// previous snapshot doesn't cover, so recovery can fall back one step.
+	if err := pruneSnapshots(m.fs, s.dir, compactThrough); err != nil {
+		return err
+	}
+	return s.log.RemoveThrough(compactThrough)
+}
+
+// LastSeq returns shard's newest appended seq.
+func (m *Manager) LastSeq(shard int) uint64 { return m.shards[shard].log.LastSeq() }
+
+// Close waits for in-flight checkpoints and closes every log (which fsyncs
+// final segments under every policy — a graceful shutdown loses nothing).
+func (m *Manager) Close() error {
+	m.wg.Wait()
+	var first error
+	for _, s := range m.shards {
+		if err := s.log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats aggregates all shards' counters.
+func (m *Manager) Stats() Stats {
+	var out Stats
+	for _, s := range m.shards {
+		ls := s.log.Stats()
+		out.AppendedRecords += ls.AppendedRecords
+		out.AppendedBytes += ls.AppendedBytes
+		out.Fsyncs += ls.Fsyncs
+		out.Segments += ls.Segments
+		out.RemovedSegments += ls.RemovedSegments
+		out.TruncatedBytes += ls.TruncatedBytes
+	}
+	out.Snapshots = m.snaps.Load()
+	out.SnapshotErrors = m.snapErrs.Load()
+	out.LastSnapshotSeq = m.lastSnapSeq.Load()
+	out.LastSnapshotUnixNano = m.lastSnapNs.Load()
+	out.RecoveredRecords = m.recovered.Load()
+	return out
+}

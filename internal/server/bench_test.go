@@ -15,7 +15,10 @@ import (
 // itself must not allocate in steady state, so serving cost scales with
 // syscalls and transactions, not with GC pressure.
 func BenchmarkServerEcho(b *testing.B) {
-	s := New(Config{Shards: 4})
+	s, err := New(Config{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer s.Drain()
 	payload, err := wire.AppendRequest(nil, &wire.Request{ID: 7, Op: wire.OpPing})
 	if err != nil {
@@ -45,7 +48,10 @@ func BenchmarkServerEcho(b *testing.B) {
 // key-string materialization, the store lookup and one STM transaction.
 // Reported for trajectory; the CI floor is on the echo path.
 func BenchmarkServerGetPath(b *testing.B) {
-	s := New(Config{Shards: 4})
+	s, err := New(Config{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer s.Drain()
 	// Seed one key through the public path.
 	seedReq := wire.AcquireRequest()
@@ -92,7 +98,10 @@ func BenchmarkServerGetPath(b *testing.B) {
 func BenchmarkServerE2EPipelined(b *testing.B) {
 	for _, clients := range []int{1, 4} {
 		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
-			s := New(Config{Shards: 8})
+			s, err := New(Config{Shards: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
 			if err := s.Listen("127.0.0.1:0"); err != nil {
 				b.Fatal(err)
 			}

@@ -17,7 +17,7 @@ func TestDrain(t *testing.T) {
 
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	s := New(Config{
+	s, err := New(Config{
 		Shards: 4,
 		execHook: func(req *wire.Request) {
 			if req.Op == wire.OpMulti {
@@ -26,6 +26,9 @@ func TestDrain(t *testing.T) {
 			}
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Listen("127.0.0.1:0"); err != nil {
 		t.Fatalf("Listen: %v", err)
 	}
@@ -131,7 +134,10 @@ func TestDrain(t *testing.T) {
 // deadline) and releases all goroutines.
 func TestDrainIdle(t *testing.T) {
 	leakCheck(t)
-	s := New(Config{Shards: 2})
+	s, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}

@@ -142,8 +142,13 @@ func (s *Server) executeGroup(group []task) {
 	case 0:
 		return
 	case 1:
-		s.executeTask(group[0])
-		return
+		// A durable single write rides the group path so its fsync ack can
+		// join the ack daemon's batch (consecutive solo writes then share
+		// fsyncs exactly like a coalesced group would).
+		if s.dur == nil || !s.dur.asyncAck() || !canWrite(group[0].req.Op) {
+			s.executeTask(group[0])
+			return
+		}
 	}
 	if s.cfg.execHook != nil {
 		for i := range group {
@@ -152,12 +157,22 @@ func (s *Server) executeGroup(group []task) {
 	}
 	s.requests.Add(int64(len(group)))
 	s.keysServed.Add(int64(len(group)))
-	s.groupCommits.Add(1)
-	s.groupedOps.Add(int64(len(group)))
+	if len(group) > 1 {
+		s.groupCommits.Add(1)
+		s.groupedOps.Add(int64(len(group)))
+	}
 	for i := range group {
 		group[i].resp = wire.AcquireResponse()
 		group[i].resp.ID = group[i].req.ID
 		group[i].resp.Op = group[i].req.Op
+	}
+	// Durable path: lock the group's candidate write shards (ascending)
+	// across the transaction and the per-shard WAL appends, sync after
+	// unlock, and never ack a write the log refused. dsc is nil when the
+	// group is read-only.
+	var dsc *durScratch
+	if s.dur != nil {
+		dsc = s.dur.lockGroup(s, group)
 	}
 	err := s.sys.Atomic(func(tx *wtftm.Tx) error {
 		for i := range group {
@@ -165,9 +180,32 @@ func (s *Server) executeGroup(group []task) {
 		}
 		return nil
 	})
+	var durErr error
+	if dsc != nil {
+		if err == nil {
+			durErr = s.dur.appendGroup(dsc, group)
+		}
+		s.dur.unlockShards(dsc)
+		if err == nil && durErr == nil && s.dur.deferAck(dsc, group) {
+			// The ack daemon owns the write acks now: reads went out
+			// already, and the writes are released after the daemon's next
+			// fsync (batched with whatever else has accumulated).
+			s.dur.release(dsc)
+			return
+		}
+		if durErr == nil && err == nil {
+			durErr = s.dur.syncAppended(dsc)
+		}
+		s.dur.release(dsc)
+	}
 	if err != nil {
 		for i := range group {
 			group[i].resp.Result = wire.ErrResult(err.Error())
+		}
+	} else if durErr != nil {
+		res := s.dur.failResult(durErr)
+		for i := range group {
+			group[i].resp.Result = res
 		}
 	}
 	for i := range group {

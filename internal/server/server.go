@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"wtftm"
+	"wtftm/internal/wal"
 	"wtftm/internal/wire"
 )
 
@@ -90,6 +91,36 @@ type Config struct {
 	// client stops reading is closed rather than allowed to wedge a worker.
 	// Default 30s.
 	WriteTimeout time.Duration
+	// DataDir, when non-empty, enables durability: every shard gets a
+	// write-ahead log (and rolling snapshots) under this directory, boot
+	// recovers the store from it, and writes are acknowledged only after
+	// they satisfy the Fsync policy. Empty means memory-only (the default).
+	DataDir string
+	// Fsync selects when WAL appends are fsynced: wal.SyncGroup (default)
+	// runs one coalesced barrier per commit group before acking,
+	// wal.SyncAlways fsyncs every append, wal.SyncOff never fsyncs on the
+	// ack path (graceful shutdown still syncs; a power cut may lose the
+	// tail). Ignored without DataDir.
+	Fsync wal.SyncPolicy
+	// CommitDelay is how long the group-commit ack daemon waits after the
+	// first deferred write ack for more commits to share its fsync cycle.
+	// The window is pure added write latency traded for fsync amortization:
+	// on the ack path an fsync costs real CPU, so at high write rates the
+	// window is what keeps the disk barrier from eating the machine. Reads
+	// and the executors never wait on it. 0 means the 1ms default; negative
+	// disables the window (fsync as soon as the daemon is free — lowest
+	// write latency, one fsync cycle per commit under light load). Ignored
+	// unless DataDir is set and Fsync is wal.SyncGroup.
+	CommitDelay time.Duration
+	// SnapshotEvery checkpoints a shard (snapshot + log compaction) after
+	// this many WAL records. 0 means the 65536 default; negative disables
+	// automatic checkpoints. Ignored without DataDir.
+	SnapshotEvery int64
+	// SegmentBytes is the WAL segment rotation threshold (0 = wal default).
+	SegmentBytes int64
+	// FS overrides the durability layer's file system (crash-injection
+	// tests); nil means the real one.
+	FS wal.FS
 	// Recorder, when non-nil, captures the engine's totally ordered
 	// operation log so a served workload can be FSG-checked after the fact
 	// (see the end-to-end conformance test). Recording costs one mutex
@@ -134,6 +165,11 @@ func (c *Config) withDefaults() Config {
 	if out.WriterQueue <= 0 {
 		out.WriterQueue = 64
 	}
+	if out.CommitDelay == 0 {
+		out.CommitDelay = time.Millisecond
+	} else if out.CommitDelay < 0 {
+		out.CommitDelay = 0
+	}
 	if out.WriteTimeout <= 0 {
 		out.WriteTimeout = 30 * time.Second
 	}
@@ -154,6 +190,7 @@ type Server struct {
 	stm   *wtftm.STM
 	sys   *wtftm.System
 	store *store
+	dur   *durability // nil on a memory-only server
 
 	ln    net.Listener
 	execs []*executor
@@ -203,8 +240,11 @@ type conn struct {
 	wfail   atomic.Bool // write failed; further responses are dropped
 }
 
-// New creates a server over a fresh STM and futures engine.
-func New(cfg Config) *Server {
+// New creates a server over a fresh STM and futures engine. With a DataDir
+// it also opens the durability layer and recovers the store from the latest
+// snapshots plus the WAL suffix, so the error return is only ever non-nil
+// for durable configurations.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	stm := wtftm.NewSTM()
 	sys := wtftm.NewSystem(stm, wtftm.Options{Ordering: cfg.Ordering, Atomicity: cfg.Atomicity, Recorder: cfg.Recorder})
@@ -221,7 +261,14 @@ func New(cfg Config) *Server {
 	for i := range s.execs {
 		s.execs[i] = newExecutor(s, i)
 	}
-	return s
+	if cfg.DataDir != "" {
+		d, err := newDurability(s, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("server: durability: %w", err)
+		}
+		s.dur = d
+	}
+	return s, nil
 }
 
 // System exposes the underlying futures engine (stats, options).
@@ -469,6 +516,10 @@ func (s *Server) execute(req *wire.Request, resp *wire.Response) {
 		}
 	case wire.OpGet, wire.OpPut, wire.OpDel, wire.OpCAS:
 		s.keysServed.Add(1)
+		if s.dur != nil && canWrite(req.Op) {
+			resp.Result = s.executeDurableSolo(req)
+			return
+		}
 		var res wire.Result
 		err := s.sys.Atomic(func(tx *wtftm.Tx) error {
 			res = s.store.apply(tx, &req.Cmd)
@@ -527,6 +578,15 @@ func (s *Server) executeMulti(req *wire.Request, resp *wire.Response) {
 		sc.groups[sh] = append(sc.groups[sh], i)
 	}
 
+	// Durable path: hold every candidate write shard's commit lock across
+	// the transaction and the appends (log order = commit order), then run
+	// the sync barrier before acknowledging. dsc is nil for read-only
+	// batches — they take no locks and pay nothing.
+	var dsc *durScratch
+	if s.dur != nil {
+		dsc = s.dur.lockBatch(s, req.Batch)
+	}
+
 	err := s.sys.Atomic(func(tx *wtftm.Tx) error {
 		// An aborted attempt's future goroutines may still be finishing
 		// their last store.apply when the retry starts; join them before
@@ -573,7 +633,24 @@ func (s *Server) executeMulti(req *wire.Request, resp *wire.Response) {
 		}
 		return nil
 	})
+	var durErr error
+	if dsc != nil {
+		if err == nil {
+			// Only a committed transaction logs anything; an aborted one
+			// (CAS mismatch, terminal engine error) wrote nothing.
+			durErr = s.dur.appendBatch(dsc, req.Batch, sc.attempt)
+		}
+		s.dur.unlockShards(dsc)
+		if durErr == nil && err == nil {
+			durErr = s.dur.syncAppended(dsc)
+		}
+		s.dur.release(dsc)
+	}
+
 	switch {
+	case durErr != nil:
+		// Committed in memory but not durable: the batch is never acked.
+		resp.Result = s.dur.failResult(durErr)
 	case err == nil:
 		resp.Result = wire.OKResult()
 		resp.Batch = append(resp.Batch[:0], sc.attempt...)
@@ -604,7 +681,12 @@ func (s *Server) statsReply() wire.StatsReply {
 		e wtftm.StatsSnapshot    = s.sys.Stats().Snapshot()
 		m wtftm.STMStatsSnapshot = s.stm.Stats().Snapshot()
 	)
+	var walSec *wire.WALStats
+	if s.dur != nil {
+		walSec = s.dur.walStats(&s.cfg, time.Now().UnixNano())
+	}
 	return wire.StatsReply{
+		WAL: walSec,
 		Server: wire.ServerStats{
 			Ordering:       s.sys.Options().Ordering.String(),
 			Atomicity:      s.sys.Options().Atomicity.String(),
@@ -677,6 +759,14 @@ func (s *Server) Drain() {
 		close(ex.q)
 	}
 	s.execWG.Wait()
+	if s.dur != nil {
+		// All executors are quiescent: stop the ack daemon (syncing and
+		// delivering every still-deferred ack), flush in-flight checkpoints,
+		// fsync every shard's final segment (all policies — a graceful
+		// shutdown never loses acknowledged or even unacknowledged committed
+		// writes) and close the logs.
+		s.dur.close()
+	}
 }
 
 // Close is Drain; the graceful path is cheap enough that an abrupt variant

@@ -44,7 +44,10 @@ func leakCheck(t *testing.T) {
 
 func startServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	if err := s.Listen("127.0.0.1:0"); err != nil {
 		t.Fatalf("Listen: %v", err)
 	}

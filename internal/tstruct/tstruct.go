@@ -120,6 +120,64 @@ func (m *Map) ForEach(tx mvstm.ReadWriter, fn func(key string, val any) bool) {
 	}
 }
 
+// KV is one key-value pair, the unit of Snapshot/Restore bulk transfer.
+type KV struct {
+	Key string
+	Val any
+}
+
+// Snapshot appends every entry to dst (bucket order) and returns it. Like
+// ForEach it reads every bucket, so the enclosing transaction observes one
+// consistent cut of the map — which is exactly what a durability checkpoint
+// needs.
+func (m *Map) Snapshot(tx mvstm.ReadWriter, dst []KV) []KV {
+	for _, b := range m.buckets {
+		for _, e := range tx.Read(b).([]mapEntry) {
+			dst = append(dst, KV{Key: e.key, Val: e.val})
+		}
+	}
+	return dst
+}
+
+// Restore bulk-inserts kvs (later duplicates win). It rebuilds each touched
+// bucket once and writes the size box once, where n repeated Puts would copy
+// the growing bucket n times and serialize every restore transaction on the
+// size box — the difference between O(n) and O(n²) recovery.
+func (m *Map) Restore(tx mvstm.ReadWriter, kvs []KV) {
+	if len(kvs) == 0 {
+		return
+	}
+	byBucket := make([][]KV, len(m.buckets))
+	for _, kv := range kvs {
+		i := maphash.String(m.seed, kv.Key) % uint64(len(m.buckets))
+		byBucket[i] = append(byBucket[i], kv)
+	}
+	added := 0
+	for i, batch := range byBucket {
+		if len(batch) == 0 {
+			continue
+		}
+		entries := tx.Read(m.buckets[i]).([]mapEntry)
+		next := make([]mapEntry, len(entries), len(entries)+len(batch))
+		copy(next, entries)
+	insert:
+		for _, kv := range batch {
+			for j := range next {
+				if next[j].key == kv.Key {
+					next[j].val = kv.Val
+					continue insert
+				}
+			}
+			next = append(next, mapEntry{key: kv.Key, val: kv.Val})
+			added++
+		}
+		tx.Write(m.buckets[i], next)
+	}
+	if added != 0 {
+		tx.Write(m.size, tx.Read(m.size).(int)+added)
+	}
+}
+
 // Queue is a transactional FIFO queue using the classic two-list functional
 // representation: enqueues touch only the back box, dequeues usually touch
 // only the front box, so producers and consumers rarely conflict.

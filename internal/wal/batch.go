@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// A WAL record's payload, as wtfd writes it, is one batch of committed store
+// mutations for a single shard: the writes of one group-commit flush (or of
+// one MULTI's per-shard slice) that committed together. The codec is total:
+// any byte string either decodes or returns an error, never panics, and
+// never allocates beyond the payload itself — see FuzzWALDecode.
+//
+// Batch layout (lengths as uvarints):
+//
+//	uvarint n            op count (≤ MaxBatchOps)
+//	n × op:
+//	  byte    kind       1 = put, 2 = del
+//	  uvarint klen, key
+//	  put only: uvarint vlen, value
+
+// Batch op kinds.
+const (
+	OpPut byte = 1
+	OpDel byte = 2
+)
+
+// Limits mirroring the wire protocol's (a batch is built from decoded wire
+// commands, so anything larger is corruption, not traffic).
+const (
+	// MaxBatchOps bounds the declared op count of one batch.
+	MaxBatchOps = 1 << 16
+	// MaxBatchKeyLen bounds one key.
+	MaxBatchKeyLen = 1 << 12
+	// MaxBatchValLen bounds one value.
+	MaxBatchValLen = 1 << 20
+)
+
+// ErrBadBatch reports a batch payload the decoder rejected.
+var ErrBadBatch = errors.New("wal: malformed batch")
+
+// Op is one decoded batch operation. Val aliases the decoded payload (copy
+// it to retain past the callback); Key is a fresh string.
+type Op struct {
+	Kind byte // OpPut or OpDel
+	Key  string
+	Val  []byte // put only
+}
+
+// AppendBatchHeader begins a batch encoding with its op count.
+func AppendBatchHeader(dst []byte, n int) []byte {
+	return binary.AppendUvarint(dst, uint64(n))
+}
+
+// AppendPut appends a put op to an in-progress batch encoding.
+func AppendPut(dst []byte, key string, val []byte) []byte {
+	dst = append(dst, OpPut)
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	dst = binary.AppendUvarint(dst, uint64(len(val)))
+	return append(dst, val...)
+}
+
+// AppendDel appends a delete op to an in-progress batch encoding.
+func AppendDel(dst []byte, key string) []byte {
+	dst = append(dst, OpDel)
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	return append(dst, key...)
+}
+
+// DecodeBatch streams a batch payload's ops to fn in order. The op's Key and
+// Val alias payload. Decoding is strict: limits enforced before any slice is
+// taken, trailing bytes rejected.
+func DecodeBatch(payload []byte, fn func(op Op) error) error {
+	b := payload
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return fmt.Errorf("%w: op count", ErrBadBatch)
+	}
+	if n > MaxBatchOps {
+		return fmt.Errorf("%w: %d ops > %d", ErrBadBatch, n, MaxBatchOps)
+	}
+	b = b[sz:]
+	for i := uint64(0); i < n; i++ {
+		if len(b) < 1 {
+			return fmt.Errorf("%w: truncated op", ErrBadBatch)
+		}
+		kind := b[0]
+		b = b[1:]
+		key, rest, err := batchBytes(b, MaxBatchKeyLen)
+		if err != nil {
+			return fmt.Errorf("%w: key: %w", ErrBadBatch, err)
+		}
+		b = rest
+		op := Op{Kind: kind, Key: string(key)}
+		switch kind {
+		case OpPut:
+			val, rest, err := batchBytes(b, MaxBatchValLen)
+			if err != nil {
+				return fmt.Errorf("%w: value: %w", ErrBadBatch, err)
+			}
+			b = rest
+			op.Val = val
+		case OpDel:
+		default:
+			return fmt.Errorf("%w: op kind %d", ErrBadBatch, kind)
+		}
+		if err := fn(op); err != nil {
+			return err
+		}
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadBatch, len(b))
+	}
+	return nil
+}
+
+// batchBytes reads one length-prefixed byte string, limit-checked against
+// both max and the remaining payload before slicing.
+func batchBytes(b []byte, max uint64) ([]byte, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, errors.New("bad length")
+	}
+	if n > max {
+		return nil, nil, fmt.Errorf("length %d > %d", n, max)
+	}
+	b = b[sz:]
+	if uint64(len(b)) < n {
+		return nil, nil, errors.New("truncated")
+	}
+	return b[:n], b[n:], nil
+}

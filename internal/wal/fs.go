@@ -1,0 +1,89 @@
+// File-layer abstraction for the durability subsystem. Every byte the WAL
+// and snapshot writers persist goes through the FS interface, which exists
+// for exactly one reason: crash-recovery correctness must be tested against
+// deterministic fault points, not timing. Production uses OSFS (thin os.*
+// wrappers, including the directory fsync that makes creates/renames/removes
+// durable on POSIX systems); tests use MemFS, whose Crash model drops
+// unsynced bytes and non-dirsynced directory entries the way a power cut
+// would.
+package wal
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the handle surface the durability layer needs. *os.File satisfies
+// it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync durably persists the file's written data (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes (torn-tail repair).
+	Truncate(size int64) error
+	// Seek repositions the read/write cursor.
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the file-system surface the durability layer needs. All paths are
+// slash-separated and interpreted by the implementation (OSFS: the real
+// tree; MemFS: a virtual one).
+type FS interface {
+	// OpenFile opens name with os.O_* flags.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadDir returns the sorted base names of dir's entries.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname's file. Durable only
+	// after SyncDir on the parent.
+	Rename(oldname, newname string) error
+	// Remove deletes name. Durable only after SyncDir on the parent.
+	Remove(name string) error
+	// MkdirAll creates dir and its missing parents.
+	MkdirAll(dir string, perm fs.FileMode) error
+	// SyncDir fsyncs dir itself, making entry creations, renames and
+	// removals under it durable.
+	SyncDir(dir string) error
+}
+
+// OSFS is the production FS: the operating system's file tree.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
+func (OSFS) MkdirAll(dir string, perm fs.FileMode) error {
+	return os.MkdirAll(dir, perm)
+}
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

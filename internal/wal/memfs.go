@@ -1,0 +1,375 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the error every operation returns once an injected fault
+// has tripped: the model is a disk that died, not one that hiccuped.
+var ErrInjected = errors.New("wal: injected fault (disk died)")
+
+// FaultOp selects which operation kinds an injected fault counts.
+type FaultOp uint8
+
+const (
+	FaultWrite FaultOp = 1 << iota
+	FaultSync
+	FaultCreate
+	FaultRename
+	FaultRemove
+	FaultSyncDir
+	// FaultAllOps counts every mutating operation.
+	FaultAllOps = FaultWrite | FaultSync | FaultCreate | FaultRename | FaultRemove | FaultSyncDir
+)
+
+// MemFS is a deterministic in-memory FS with a power-cut crash model, built
+// for crash-injection tests (the de-flake rule: fault points are counted
+// operations on the file layer, never timers).
+//
+// Durability model:
+//   - Write appends to a file's in-memory data; the bytes are volatile until
+//     the file is Synced.
+//   - Creating, renaming or removing an entry is volatile until SyncDir runs
+//     on its directory.
+//   - Crash/CrashClone discards all volatile state: files lose their
+//     unsynced suffix (optionally keeping a deterministic number of "torn"
+//     bytes, to model a partial sector write), entries that were never
+//     dirsynced vanish, and removals/renames that were never dirsynced roll
+//     back to the last dirsynced view.
+//
+// Fault model: FailAfter arms a countdown over selected operation kinds;
+// when it reaches zero that operation and every later mutating operation
+// fail with ErrInjected (the disk is gone until the "machine reboots" via
+// Crash/CrashClone, which resets the fault).
+type MemFS struct {
+	mu     sync.Mutex
+	files  map[string]*memData // live view (what open handles and ReadDir see)
+	dirs   map[string]bool
+	durDir map[string]*memData // last dirsynced view of each file entry (nil value = durable removal pending? see Crash)
+
+	faultOps  FaultOp
+	faultLeft int // counts down matching ops; <0 = disarmed, 0 = tripped
+	tripped   bool
+
+	synced  int64 // fsync count (for tests asserting sync behaviour)
+	writes  int64
+	creates int64
+}
+
+// memData is one file's contents. Handles share it.
+type memData struct {
+	data   []byte
+	synced int // bytes durably persisted by Sync
+}
+
+// NewMemFS returns an empty MemFS.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:  make(map[string]*memData),
+		dirs:   make(map[string]bool),
+		durDir: make(map[string]*memData),
+	}
+}
+
+// FailAfter arms the fault: the n-th (1-based) operation matching ops fails,
+// and every mutating operation after it fails too. n <= 0 disarms.
+func (m *MemFS) FailAfter(ops FaultOp, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faultOps = ops
+	m.faultLeft = n
+	m.tripped = n == 0
+}
+
+// Tripped reports whether the armed fault has fired.
+func (m *MemFS) Tripped() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tripped
+}
+
+// Syncs returns the number of successful file fsyncs (test observability).
+func (m *MemFS) Syncs() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.synced
+}
+
+// step is called with m.mu held before a mutating operation of kind op; it
+// returns ErrInjected when the fault has tripped (or trips on this call).
+func (m *MemFS) step(op FaultOp) error {
+	if m.tripped {
+		return ErrInjected
+	}
+	if m.faultLeft > 0 && m.faultOps&op != 0 {
+		m.faultLeft--
+		if m.faultLeft == 0 {
+			m.tripped = true
+			return ErrInjected
+		}
+	}
+	return nil
+}
+
+// Crash simulates a power cut in place: volatile state is discarded and the
+// armed fault is cleared (the replacement disk is healthy). Open handles
+// keep their *memData pointers but those buffers are detached from the fs —
+// a crashed process's stray writes can never resurrect into the recovered
+// view. keepTorn bytes of each file's unsynced suffix survive, modelling a
+// torn write at the crash point.
+func (m *MemFS) Crash(keepTorn int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := make(map[string]*memData, len(m.durDir))
+	for name, d := range m.durDir {
+		keep := d.synced + keepTorn
+		if keep > len(d.data) {
+			keep = len(d.data)
+		}
+		nd := &memData{data: append([]byte(nil), d.data[:keep]...)}
+		nd.synced = len(nd.data) // after reboot everything on disk is "stable"
+		next[name] = nd
+	}
+	m.files = next
+	m.durDir = make(map[string]*memData, len(next))
+	for name, d := range next {
+		m.durDir[name] = d
+	}
+	m.faultOps, m.faultLeft, m.tripped = 0, -1, false
+}
+
+// CrashClone returns the post-crash view of the disk as a new independent
+// MemFS, leaving the receiver untouched — the "old process" can keep
+// scribbling on the original while the test recovers from the clone, exactly
+// like a kill -9 followed by a restart on the real file system.
+func (m *MemFS) CrashClone(keepTorn int) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for d := range m.dirs {
+		out.dirs[d] = true
+	}
+	for name, d := range m.durDir {
+		keep := d.synced + keepTorn
+		if keep > len(d.data) {
+			keep = len(d.data)
+		}
+		nd := &memData{data: append([]byte(nil), d.data[:keep]...)}
+		nd.synced = len(nd.data)
+		out.files[name] = nd
+		out.durDir[name] = nd
+	}
+	return out
+}
+
+func (m *MemFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+		if err := m.step(FaultCreate); err != nil {
+			return nil, err
+		}
+		d = &memData{}
+		m.files[name] = d
+		m.creates++
+		// Volatile until the parent directory is synced: not in durDir yet.
+	} else if flag&os.O_TRUNC != 0 {
+		d.data = d.data[:0]
+		d.synced = 0
+	}
+	return &memFile{fs: m, name: name, d: d, append_: flag&os.O_APPEND != 0}, nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	dir = path.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	prefix := dir + "/"
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], "/") {
+			names = append(names, name[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	oldname, newname = path.Clean(oldname), path.Clean(newname)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(FaultRename); err != nil {
+		return err
+	}
+	d, ok := m.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	m.files[newname] = d
+	// Volatile: durDir still maps the old name (or nothing) until SyncDir.
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(FaultRemove); err != nil {
+		return err
+	}
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) MkdirAll(dir string, perm fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[path.Clean(dir)] = true
+	return nil
+}
+
+// SyncDir makes dir's current entry set durable: creations, renames and
+// removals under dir are reflected into the crash-surviving view.
+func (m *MemFS) SyncDir(dir string) error {
+	dir = path.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(FaultSyncDir); err != nil {
+		return err
+	}
+	prefix := dir + "/"
+	for name := range m.durDir {
+		if strings.HasPrefix(name, prefix) {
+			if _, live := m.files[name]; !live {
+				delete(m.durDir, name) // removal/rename-away now durable
+			}
+		}
+	}
+	for name, d := range m.files {
+		if strings.HasPrefix(name, prefix) {
+			m.durDir[name] = d
+		}
+	}
+	return nil
+}
+
+// memFile is one open handle.
+type memFile struct {
+	fs      *MemFS
+	name    string
+	d       *memData
+	pos     int64
+	append_ bool
+	closed  bool
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	if f.pos >= int64(len(f.d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.data[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	if err := f.fs.step(FaultWrite); err != nil {
+		return 0, err
+	}
+	f.fs.writes++
+	if f.append_ {
+		f.pos = int64(len(f.d.data))
+	}
+	for int64(len(f.d.data)) < f.pos {
+		f.d.data = append(f.d.data, 0)
+	}
+	f.d.data = append(f.d.data[:f.pos], p...)
+	f.pos += int64(len(p))
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	if err := f.fs.step(FaultSync); err != nil {
+		return err
+	}
+	f.d.synced = len(f.d.data)
+	f.fs.synced++
+	return nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	if err := f.fs.step(FaultWrite); err != nil {
+		return err
+	}
+	if size < int64(len(f.d.data)) {
+		f.d.data = f.d.data[:size]
+		if f.d.synced > int(size) {
+			f.d.synced = int(size)
+		}
+	}
+	return nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	switch whence {
+	case io.SeekStart:
+		f.pos = offset
+	case io.SeekCurrent:
+		f.pos += offset
+	case io.SeekEnd:
+		f.pos = int64(len(f.d.data)) + offset
+	}
+	if f.pos < 0 {
+		f.pos = 0
+	}
+	return f.pos, nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}

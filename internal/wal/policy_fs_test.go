@@ -1,0 +1,108 @@
+package wal
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path"
+	"testing"
+)
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"group", SyncGroup}, {"always", SyncAlways}, {"off", SyncOff}} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("round trip: %v.String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSyncPolicy("fsync-maybe"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted garbage")
+	}
+	if s := SyncPolicy(99).String(); s == "" {
+		t.Fatal("unknown policy printed empty")
+	}
+}
+
+// TestMemFSRenameRemoveCrash exercises the MemFS surface the crash tests
+// rely on but reach only indirectly: rename/remove volatility rules and the
+// in-place Crash reset (versus CrashClone).
+func TestMemFSRenameRemoveCrash(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("d/a", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("d"); err != nil { // entry durable, or Crash drops it
+		t.Fatal(err)
+	}
+	if m.Syncs() == 0 {
+		t.Fatal("Syncs counted nothing after a successful fsync")
+	}
+	if err := m.Rename("d/missing", "d/x"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("rename of missing file: %v", err)
+	}
+	if err := m.Rename("d/a", "d/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("d/missing"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("remove of missing file: %v", err)
+	}
+
+	// An armed fault trips once, sticks, and is observable.
+	m.FailAfter(FaultAllOps, 1)
+	if err := m.Rename("d/b", "d/c"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed fault did not fire: %v", err)
+	}
+	if !m.Tripped() {
+		t.Fatal("Tripped() false after the fault fired")
+	}
+
+	// Crash in place: the tripped fault clears and unsynced data vanishes
+	// (the rename above was never SyncDir'd, so the durable name survives).
+	m.Crash(0)
+	if m.Tripped() {
+		t.Fatal("Crash did not clear the armed fault")
+	}
+	g, err := m.OpenFile("d/a", os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := g.Seek(0, 2); err != nil || n != 5 {
+		t.Fatalf("synced bytes after crash: n=%d err=%v, want 5", n, err)
+	}
+	g.Close()
+}
+
+func TestOSFSRenameRemove(t *testing.T) {
+	dir := t.TempDir()
+	var osfs OSFS
+	f, err := osfs.OpenFile(path.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := osfs.Rename(path.Join(dir, "a"), path.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := osfs.Remove(path.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path.Join(dir, "b")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("file survived remove: %v", err)
+	}
+}

@@ -699,6 +699,8 @@ type StatsReply struct {
 	Server ServerStats `json:"server"`
 	Engine EngineStats `json:"engine"`
 	STM    STMStats    `json:"stm"`
+	// WAL is the durability section; nil on a memory-only server.
+	WAL *WALStats `json:"wal,omitempty"`
 }
 
 // ServerStats are wtfd's own counters and configuration echo.
@@ -735,6 +737,41 @@ type ServerStats struct {
 	FutureFanouts int64 `json:"future_fanouts"`
 	BadFrames     int64 `json:"bad_frames"`
 	Draining      bool  `json:"draining"`
+}
+
+// WALStats is the durability section of STATS, present when the server runs
+// with a data directory: WAL append/fsync counters, checkpoint state and the
+// recovery tally from the last boot.
+type WALStats struct {
+	// Fsync echoes the configured sync policy ("always", "group" or "off").
+	Fsync string `json:"fsync"`
+	// DataDir echoes the configured data directory.
+	DataDir string `json:"data_dir"`
+	// AppendedRecords / AppendedBytes count WAL appends by this process.
+	AppendedRecords int64 `json:"appended_records"`
+	AppendedBytes   int64 `json:"appended_bytes"`
+	// Fsyncs counts file fsyncs across all shard logs.
+	Fsyncs int64 `json:"fsyncs"`
+	// Segments is the live segment-file count; RemovedSegments counts
+	// segments deleted by checkpoint compaction.
+	Segments        int   `json:"segments"`
+	RemovedSegments int64 `json:"removed_segments"`
+	// TruncatedBytes is the torn tail recovery cut off at the last boot.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// BatchOpsHWM is the largest op count any single WAL batch carried.
+	BatchOpsHWM int64 `json:"batch_ops_hwm"`
+	// AppendFailures counts writes refused an ack because the WAL append or
+	// sync failed (the client saw an error; the disk is suspect).
+	AppendFailures int64 `json:"append_failures"`
+	// Snapshots / SnapshotErrors count checkpoint attempts this process.
+	Snapshots      int64 `json:"snapshots"`
+	SnapshotErrors int64 `json:"snapshot_errors"`
+	// LastSnapshotSeq is the newest durable snapshot's covered seq;
+	// LastSnapshotAgeMS its age (-1 if no checkpoint ran this process).
+	LastSnapshotSeq   uint64 `json:"last_snapshot_seq"`
+	LastSnapshotAgeMS int64  `json:"last_snapshot_age_ms"`
+	// RecoveredRecords counts WAL records replayed at boot.
+	RecoveredRecords int64 `json:"recovered_records"`
 }
 
 // EngineStats mirrors wtftm.StatsSnapshot field-for-field (kept as a plain

@@ -15,10 +15,16 @@ go test ./...
 echo "== tier-1.5: vet =="
 go vet ./...
 
-echo "== tier-1.5: race (mvstm + core + conform + wtfd server/client/wire) =="
-go test -race ./internal/mvstm/ ./internal/core/ ./internal/conform/ ./internal/server/ ./internal/client/ ./internal/wire/
+echo "== tier-1.5: race (mvstm + core + conform + wtfd server/client/wire + wal/persist) =="
+go test -race ./internal/mvstm/ ./internal/core/ ./internal/conform/ ./internal/server/ ./internal/client/ ./internal/wire/ ./internal/wal/ ./internal/persist/
 
-echo "== tier-1.5: coverage floors (core >= 80%, fsg >= 85%) =="
+echo "== tier-1.5: crash recovery under race (deterministic fault injection) =="
+# The durability acceptance property: for every injected crash point, the
+# recovered store equals a prefix of the acknowledged-op sequence — no acked
+# write lost under -fsync group/always, MULTI batches atomic across the cut.
+go test -race -run 'TestCrash|TestDrainFlushesWAL' -count=1 ./internal/server/
+
+echo "== tier-1.5: coverage floors (core >= 80%, fsg >= 85%, wal >= 80%, persist >= 75%) =="
 check_cover() {
 	pkg=$1
 	floor=$2
@@ -35,6 +41,11 @@ check_cover() {
 }
 check_cover ./internal/core/ 80
 check_cover ./internal/fsg/ 85
+check_cover ./internal/wal/ 80
+check_cover ./internal/persist/ 75
+
+echo "== tier-1.5: recovery smoke (real wtfd binary: serve, kill -9, recover) =="
+go test -run TestRecoverySmoke -count=1 ./cmd/wtfd/
 
 echo "== tier-1.5: wtfconform smoke (fixed seeds, clean engine: expect 0 violations) =="
 go run ./cmd/wtfconform -mode dfs -seed 1 -seeds 8 -budget 300
