@@ -72,10 +72,33 @@ func startWTFD(t *testing.T, bin string, extra ...string) *wtfdProc {
 	}()
 	select {
 	case addr := <-addrCh:
+		waitServing(t, addr)
 		return &wtfdProc{cmd: cmd, addr: addr}
 	case <-time.After(30 * time.Second):
 		t.Fatal("wtfd never printed its serving banner")
 		return nil
+	}
+}
+
+// waitServing polls the daemon with PINGs until it answers. The banner says
+// the listener is bound, not that the accept loop is scheduled; under a
+// loaded test machine the first connection can land before the daemon is
+// ready to serve it, and a fixed post-banner sleep is exactly the flake this
+// replaces.
+func waitServing(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		cl := client.New(client.Options{Addr: addr, Conns: 1})
+		err := cl.Ping()
+		cl.Close()
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("wtfd on %s never answered a ping: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

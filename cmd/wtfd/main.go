@@ -7,6 +7,7 @@
 //
 //	wtfd [-listen addr] [-shards n] [-buckets n] [-executors n]
 //	     [-group-limit n] [-flush-window d] [-writer-queue n]
+//	     [-idle-timeout d] [-max-inflight n]
 //	     [-ordering wo|so] [-atomicity lac|gac] [-stats interval]
 //	     [-data-dir dir] [-fsync always|group|off] [-commit-delay d]
 //	     [-snapshot-every n] [-segment-bytes n] [-pprof addr]
@@ -27,15 +28,20 @@
 // 1ms; negative = fsync immediately) — added write latency traded for fsync
 // amortization. -snapshot-every checkpoints a shard after that many log
 // records (0 = default 65536, negative = never); -segment-bytes sets the
-// log rotation threshold.
+// log rotation threshold. The durability flags (-fsync, -commit-delay,
+// -snapshot-every, -segment-bytes) are rejected without -data-dir: silently
+// ignoring them would let an operator believe a memory-only daemon was
+// fsyncing.
 //
 // -executors sizes the shard-affine executor pool (each executor owns a
 // subset of shards and serializes their single-key requests); -group-limit
-// and -flush-window bound group commit (how many consecutive single-key
-// commands one executor may coalesce into a single transaction, and how
-// long it may hold an open group waiting for more); -writer-queue sets the
-// per-connection response queue depth. -pprof serves net/http/pprof on the
-// given address for live profiling.
+// and -flush-window bound group commit; -writer-queue sets the
+// per-connection response queue depth. -idle-timeout is how long a silent
+// connection lives before the server reaps it (default 2m, negative =
+// never); -max-inflight caps admitted-but-unanswered requests across all
+// connections — beyond it the server sheds store requests with BUSY instead
+// of queueing (default 4096, negative = unbounded). -pprof serves
+// net/http/pprof on the given address for live profiling.
 //
 // wtfd shuts down gracefully on SIGINT/SIGTERM: it refuses new connections,
 // completes in-flight transactions, flushes their responses, then exits.
@@ -57,26 +63,75 @@ import (
 	"wtftm/internal/wal"
 )
 
-func main() {
+// runOpts is everything parseArgs produces that is not server configuration.
+type runOpts struct {
+	listen    string
+	stats     time.Duration
+	pprofAddr string
+	ordering  string // echoed in the banner
+	atomicity string
+	fsyncName string
+}
+
+// parseArgs builds the server configuration from argv (without the program
+// name). All validation lives here so tests can drive it as a function; main
+// only translates an error into exit status 2.
+func parseArgs(args []string) (server.Config, runOpts, error) {
+	fs := flag.NewFlagSet("wtfd", flag.ContinueOnError)
 	var (
-		listen      = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
-		shards      = flag.Int("shards", 16, "store shard count (MULTI fan-out width)")
-		buckets     = flag.Int("buckets", 64, "hash buckets per shard")
-		executors   = flag.Int("executors", 0, "shard-affine executor count (0 = GOMAXPROCS, capped at shards)")
-		groupLimit  = flag.Int("group-limit", 0, "max single-key ops coalesced per group commit (0 = default 32, 1 = disable)")
-		flushWindow = flag.Duration("flush-window", 0, "how long an executor holds an open group waiting for more ops (0 = never wait)")
-		writerQueue = flag.Int("writer-queue", 0, "per-connection response queue depth (0 = default 64)")
-		ordering    = flag.String("ordering", "wo", "futures ordering semantics: wo|so")
-		atomicity   = flag.String("atomicity", "lac", "escaping-future atomicity: lac|gac")
-		stats       = flag.Duration("stats", 0, "print counter snapshots at this interval (0 = off)")
-		dataDir     = flag.String("data-dir", "", "durability directory: per-shard WAL + snapshots, recovered on boot (empty = memory-only)")
-		fsync       = flag.String("fsync", "group", "when to fsync the WAL before acking writes: always|group|off")
-		commitDelay = flag.Duration("commit-delay", 0, "group-commit window: how long to hold the fsync barrier open for more commits (0 = default 1ms, negative = no wait)")
-		snapEvery   = flag.Int64("snapshot-every", 0, "checkpoint a shard after this many WAL records (0 = default 65536, negative = never)")
-		segBytes    = flag.Int64("segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default)")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+		listen      = fs.String("listen", "127.0.0.1:7070", "TCP listen address")
+		shards      = fs.Int("shards", 16, "store shard count (MULTI fan-out width)")
+		buckets     = fs.Int("buckets", 64, "hash buckets per shard")
+		executors   = fs.Int("executors", 0, "shard-affine executor count (0 = GOMAXPROCS, capped at shards)")
+		groupLimit  = fs.Int("group-limit", 0, "max single-key ops coalesced per group commit (0 = default 32, 1 = disable)")
+		flushWindow = fs.Duration("flush-window", 0, "how long an executor holds an open group waiting for more ops (0 = never wait)")
+		writerQueue = fs.Int("writer-queue", 0, "per-connection response queue depth (0 = default 64)")
+		idleTimeout = fs.Duration("idle-timeout", 0, "reap connections silent this long (0 = default 2m, negative = never)")
+		maxInFlight = fs.Int("max-inflight", 0, "shed store requests with BUSY beyond this many in flight (0 = default 4096, negative = unbounded)")
+		ordering    = fs.String("ordering", "wo", "futures ordering semantics: wo|so")
+		atomicity   = fs.String("atomicity", "lac", "escaping-future atomicity: lac|gac")
+		stats       = fs.Duration("stats", 0, "print counter snapshots at this interval (0 = off)")
+		dataDir     = fs.String("data-dir", "", "durability directory: per-shard WAL + snapshots, recovered on boot (empty = memory-only)")
+		fsync       = fs.String("fsync", "group", "when to fsync the WAL before acking writes: always|group|off")
+		commitDelay = fs.Duration("commit-delay", 0, "group-commit window: how long to hold the fsync barrier open for more commits (0 = default 1ms, negative = no wait)")
+		snapEvery   = fs.Int64("snapshot-every", 0, "checkpoint a shard after this many WAL records (0 = default 65536, negative = never)")
+		segBytes    = fs.Int64("segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default)")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return server.Config{}, runOpts{}, err
+	}
+	if fs.NArg() > 0 {
+		return server.Config{}, runOpts{}, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	if *shards < 1 {
+		return server.Config{}, runOpts{}, fmt.Errorf("-shards must be >= 1 (got %d)", *shards)
+	}
+	if *buckets < 1 {
+		return server.Config{}, runOpts{}, fmt.Errorf("-buckets must be >= 1 (got %d)", *buckets)
+	}
+	if *executors < 0 {
+		return server.Config{}, runOpts{}, fmt.Errorf("-executors must be >= 0 (got %d)", *executors)
+	}
+	if *stats < 0 {
+		return server.Config{}, runOpts{}, fmt.Errorf("-stats must be >= 0 (got %v)", *stats)
+	}
+
+	// Durability flags without -data-dir describe a WAL that does not
+	// exist; reject the contradiction instead of silently ignoring it.
+	if *dataDir == "" {
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "fsync", "commit-delay", "snapshot-every", "segment-bytes":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return server.Config{}, runOpts{}, fmt.Errorf("%s require -data-dir (memory-only daemons have no WAL)", conflict[0])
+		}
+	}
 
 	cfg := server.Config{
 		Shards:        *shards,
@@ -85,6 +140,8 @@ func main() {
 		GroupLimit:    *groupLimit,
 		FlushWindow:   *flushWindow,
 		WriterQueue:   *writerQueue,
+		IdleTimeout:   *idleTimeout,
+		MaxInFlight:   *maxInFlight,
 		DataDir:       *dataDir,
 		CommitDelay:   *commitDelay,
 		SnapshotEvery: *snapEvery,
@@ -92,8 +149,7 @@ func main() {
 	}
 	pol, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wtfd: %v\n", err)
-		os.Exit(2)
+		return server.Config{}, runOpts{}, err
 	}
 	cfg.Fsync = pol
 	switch *ordering {
@@ -102,8 +158,7 @@ func main() {
 	case "so":
 		cfg.Ordering = wtftm.SO
 	default:
-		fmt.Fprintf(os.Stderr, "wtfd: unknown -ordering %q\n", *ordering)
-		os.Exit(2)
+		return server.Config{}, runOpts{}, fmt.Errorf("unknown -ordering %q (want wo|so)", *ordering)
 	}
 	switch *atomicity {
 	case "lac":
@@ -111,14 +166,33 @@ func main() {
 	case "gac":
 		cfg.Atomicity = wtftm.GAC
 	default:
-		fmt.Fprintf(os.Stderr, "wtfd: unknown -atomicity %q\n", *atomicity)
+		return server.Config{}, runOpts{}, fmt.Errorf("unknown -atomicity %q (want lac|gac)", *atomicity)
+	}
+
+	opts := runOpts{
+		listen:    *listen,
+		stats:     *stats,
+		pprofAddr: *pprofAddr,
+		ordering:  *ordering,
+		atomicity: *atomicity,
+		fsyncName: pol.String(),
+	}
+	return cfg, opts, nil
+}
+
+func main() {
+	cfg, opts, err := parseArgs(os.Args[1:])
+	if err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "wtfd: %v\n", err)
+		}
 		os.Exit(2)
 	}
 
-	if *pprofAddr != "" {
+	if opts.pprofAddr != "" {
 		go func() {
-			fmt.Fprintf(os.Stderr, "wtfd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "wtfd: pprof on http://%s/debug/pprof/\n", opts.pprofAddr)
+			if err := http.ListenAndServe(opts.pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "wtfd: pprof: %v\n", err)
 			}
 		}()
@@ -129,20 +203,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wtfd: %v\n", err)
 		os.Exit(1)
 	}
-	if err := s.Listen(*listen); err != nil {
+	if err := s.Listen(opts.listen); err != nil {
 		fmt.Fprintf(os.Stderr, "wtfd: %v\n", err)
 		os.Exit(1)
 	}
 	durable := "memory-only"
-	if *dataDir != "" {
-		durable = fmt.Sprintf("data-dir=%s fsync=%s", *dataDir, pol)
+	if cfg.DataDir != "" {
+		durable = fmt.Sprintf("data-dir=%s fsync=%s", cfg.DataDir, opts.fsyncName)
 	}
 	fmt.Fprintf(os.Stderr, "wtfd: serving on %s (shards=%d ordering=%s atomicity=%s %s)\n",
-		s.Addr(), *shards, *ordering, *atomicity, durable)
+		s.Addr(), cfg.Shards, opts.ordering, opts.atomicity, durable)
 
-	if *stats > 0 {
+	if opts.stats > 0 {
 		go func() {
-			for range time.Tick(*stats) {
+			for range time.Tick(opts.stats) {
 				printStats(s)
 			}
 		}()

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wtftm"
+	"wtftm/internal/server"
+	"wtftm/internal/wal"
+)
+
+// TestParseArgs drives flag parsing and validation as a function — every
+// rejection an operator can hit, and the config a good command line builds.
+func TestParseArgs(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr string // substring; "" = must succeed
+		check   func(t *testing.T, got parsed)
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			check: func(t *testing.T, got parsed) {
+				if got.cfg.Shards != 16 || got.cfg.Buckets != 64 {
+					t.Errorf("default shards/buckets = %d/%d", got.cfg.Shards, got.cfg.Buckets)
+				}
+				if got.opts.listen != "127.0.0.1:7070" {
+					t.Errorf("default listen = %q", got.opts.listen)
+				}
+				if got.cfg.Fsync != wal.SyncGroup {
+					t.Errorf("default fsync = %v", got.cfg.Fsync)
+				}
+			},
+		},
+		{
+			name: "full durable config",
+			args: []string{"-data-dir", "d", "-fsync", "always", "-commit-delay", "2ms",
+				"-snapshot-every", "100", "-segment-bytes", "4096",
+				"-idle-timeout", "30s", "-max-inflight", "128",
+				"-ordering", "so", "-atomicity", "gac"},
+			check: func(t *testing.T, got parsed) {
+				if got.cfg.Fsync != wal.SyncAlways || got.cfg.DataDir != "d" {
+					t.Errorf("durable cfg = %+v", got.cfg)
+				}
+				if got.cfg.IdleTimeout != 30*time.Second || got.cfg.MaxInFlight != 128 {
+					t.Errorf("idle/inflight = %v/%d", got.cfg.IdleTimeout, got.cfg.MaxInFlight)
+				}
+				if got.cfg.Ordering != wtftm.SO || got.cfg.Atomicity != wtftm.GAC {
+					t.Errorf("ordering/atomicity = %v/%v", got.cfg.Ordering, got.cfg.Atomicity)
+				}
+			},
+		},
+		{
+			name: "negative idle-timeout and max-inflight are explicit disables",
+			args: []string{"-idle-timeout", "-1s", "-max-inflight", "-1"},
+			check: func(t *testing.T, got parsed) {
+				if got.cfg.IdleTimeout >= 0 || got.cfg.MaxInFlight >= 0 {
+					t.Errorf("disables not passed through: %v/%d", got.cfg.IdleTimeout, got.cfg.MaxInFlight)
+				}
+			},
+		},
+		{
+			// A negative commit delay is documented-legal: "no wait", the
+			// group commits as soon as the syncer wakes.
+			name: "negative commit-delay with data-dir is accepted",
+			args: []string{"-data-dir", "d", "-commit-delay", "-1ms"},
+			check: func(t *testing.T, got parsed) {
+				if got.cfg.CommitDelay >= 0 {
+					t.Errorf("CommitDelay = %v, want negative passed through", got.cfg.CommitDelay)
+				}
+			},
+		},
+		{name: "bad fsync", args: []string{"-data-dir", "d", "-fsync", "sometimes"}, wantErr: "sync policy"},
+		{name: "bad ordering", args: []string{"-ordering", "chaotic"}, wantErr: "-ordering"},
+		{name: "bad atomicity", args: []string{"-atomicity", "none"}, wantErr: "-atomicity"},
+		{name: "zero shards", args: []string{"-shards", "0"}, wantErr: "-shards"},
+		{name: "negative shards", args: []string{"-shards", "-4"}, wantErr: "-shards"},
+		{name: "zero buckets", args: []string{"-buckets", "0"}, wantErr: "-buckets"},
+		{name: "negative executors", args: []string{"-executors", "-1"}, wantErr: "-executors"},
+		{name: "negative stats", args: []string{"-stats", "-5s"}, wantErr: "-stats"},
+		{name: "unknown flag", args: []string{"-bogus"}, wantErr: "bogus"},
+		{name: "positional argument", args: []string{"extra"}, wantErr: "unexpected argument"},
+		{name: "fsync without data-dir", args: []string{"-fsync", "always"}, wantErr: "require -data-dir"},
+		{name: "commit-delay without data-dir", args: []string{"-commit-delay", "5ms"}, wantErr: "require -data-dir"},
+		{name: "snapshot-every without data-dir", args: []string{"-snapshot-every", "10"}, wantErr: "require -data-dir"},
+		{name: "segment-bytes without data-dir", args: []string{"-segment-bytes", "1024"}, wantErr: "require -data-dir"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg, opts, err := parseArgs(tt.args)
+			if tt.wantErr != "" {
+				if err == nil {
+					t.Fatalf("parseArgs(%q) succeeded, want error containing %q", tt.args, tt.wantErr)
+				}
+				if !strings.Contains(err.Error(), tt.wantErr) {
+					t.Fatalf("parseArgs(%q) error = %v, want substring %q", tt.args, err, tt.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseArgs(%q): %v", tt.args, err)
+			}
+			if tt.check != nil {
+				tt.check(t, parsed{cfg: cfg, opts: opts})
+			}
+		})
+	}
+}
+
+// parsed bundles parseArgs' results for the check callbacks.
+type parsed struct {
+	cfg  server.Config
+	opts runOpts
+}

@@ -1,13 +1,16 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"wtftm/internal/chaos"
 	"wtftm/internal/client"
 	"wtftm/internal/core"
 	"wtftm/internal/server"
@@ -64,6 +67,11 @@ type ServerParams struct {
 	// stream's batch.
 	DurShards   int
 	DurPipeline int
+	// Degraded lists chaos transport scenarios (internal/chaos names, plus
+	// "clean" for the fault-free baseline row) to run with retrying
+	// clients: completed req/s and p99 under injected faults, the
+	// operator-facing cost of a degraded network.
+	Degraded []string
 }
 
 // DefaultServer returns a host-scaled parameter set: ≥3 client counts and
@@ -82,6 +90,7 @@ func DefaultServer(quick bool) ServerParams {
 		FsyncModes:     []string{"mem", "off", "group", "always"},
 		DurShards:      4,
 		DurPipeline:    32,
+		Degraded:       []string{"clean", "reset", "slow-client", "partition"},
 	}
 	if quick {
 		p.Clients = []int{1, 2, 4}
@@ -90,6 +99,7 @@ func DefaultServer(quick bool) ServerParams {
 		p.Keys = 1 << 10
 		p.Shards = 8
 		p.Executors = []int{1, 2}
+		p.Degraded = []string{"clean", "reset"}
 	}
 	return p
 }
@@ -124,6 +134,13 @@ type ServerPoint struct {
 	// pipeline backlog actually produced a group.
 	GroupCommits int64
 	GroupedOps   int64
+	// Scenario names the chaos transport scenario of a degraded-network
+	// row ("" for fault-free points, "clean" for the degraded sweep's
+	// baseline); Errors counts operations that failed through all retries
+	// and Retries the client resend attempts the completed rate paid for.
+	Scenario string
+	Errors   int64
+	Retries  int64
 }
 
 // ServerResult is the full sweep.
@@ -190,7 +207,117 @@ func RunServer(cfg Config, p ServerParams) (*ServerResult, error) {
 			cfg.progress("server fsync=%s done", mode)
 		}
 	}
+	// Degraded-network sweep: retrying clients through fault-injected
+	// transports — what the serving rate and tail look like when the
+	// network misbehaves and the retry/backoff path carries the load.
+	for _, scenario := range p.Degraded {
+		pt, err := runDegradedPoint(cfg, p, scenario)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+		cfg.progress("server degraded=%s done", scenario)
+	}
 	return res, nil
+}
+
+// runDegradedPoint measures a closed loop of retrying clients through the
+// chaos injector (scenario "clean" runs the identical loop fault-free as
+// the baseline). Operations that fail through every retry are counted, not
+// fatal — surviving faults is the measurement.
+func runDegradedPoint(cfg Config, p ServerParams, scenario string) (ServerPoint, error) {
+	srv, err := server.New(server.Config{Ordering: core.WO, Shards: p.Shards})
+	if err != nil {
+		return ServerPoint{}, err
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return ServerPoint{}, err
+	}
+	defer srv.Drain()
+	addr := srv.Addr().String()
+
+	var dial func(string, time.Duration) (net.Conn, error)
+	if scenario != "clean" {
+		plan, err := chaos.Scenario(scenario, 1)
+		if err != nil {
+			return ServerPoint{}, err
+		}
+		dial = chaos.NewInjector(plan).Dialer()
+	}
+	retry := client.RetryPolicy{MaxAttempts: 8, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+
+	const clients = 4
+	warmup := cfg.Duration / 3
+	warmupEnd := time.Now().Add(warmup)
+	deadline := warmupEnd.Add(cfg.Duration)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		totalReq int64
+		totalErr int64
+		retries  int64
+		lats     []time.Duration
+	)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := client.New(client.Options{Addr: addr, Conns: 1, Dial: dial, Retry: retry})
+			defer cl.Close()
+			rng := workload.NewRNG(uint64(w)*2654435761 + 977)
+			var reqs, errs int64
+			local := make([]time.Duration, 0, 4096)
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					break
+				}
+				measuring := now.After(warmupEnd)
+				key := benchKey(rng.Intn(p.Keys))
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				start := time.Now()
+				var err error
+				if rng.Float64() < p.WriteRatio {
+					err = cl.PutCtx(ctx, key, "1")
+				} else {
+					_, _, err = cl.GetCtx(ctx, key)
+				}
+				cancel()
+				if !measuring {
+					continue
+				}
+				if err != nil {
+					errs++
+					continue
+				}
+				local = append(local, time.Since(start))
+				reqs++
+			}
+			m := cl.Metrics()
+			mu.Lock()
+			totalReq += reqs
+			totalErr += errs
+			retries += m.Retries + m.BusyRetries
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pt := ServerPoint{
+		Ordering:   core.WO.String(),
+		Clients:    clients,
+		Batch:      1,
+		Pipeline:   1,
+		Scenario:   scenario,
+		Errors:     totalErr,
+		Retries:    retries,
+		ReqPerSec:  float64(totalReq) / cfg.Duration.Seconds(),
+		KeysPerSec: float64(totalReq) / cfg.Duration.Seconds(),
+		P50:        percentile(lats, 0.50),
+		P99:        percentile(lats, 0.99),
+	}
+	return pt, nil
 }
 
 // runDurablePoint measures one durability mode: "mem" is the plain in-memory
@@ -404,7 +531,12 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 func (r *ServerResult) Print(w io.Writer) {
 	fmt.Fprintln(w, "wtfd end-to-end: MULTI fan-out under WO vs SO futures (closed loop, loopback TCP)")
 	t := newTable("ordering", "clients", "batch", "pipe", "execs", "window", "fsync", "req/s", "keys/s", "p50", "p99", "grouped")
+	var degraded []ServerPoint
 	for _, pt := range r.Points {
+		if pt.Scenario != "" {
+			degraded = append(degraded, pt)
+			continue
+		}
 		execs := "auto"
 		if pt.Executors > 0 {
 			execs = fmt.Sprint(pt.Executors)
@@ -423,4 +555,15 @@ func (r *ServerResult) Print(w io.Writer) {
 			pt.P50.Round(time.Microsecond).String(), pt.P99.Round(time.Microsecond).String(), grouped)
 	}
 	t.print(w)
+	if len(degraded) > 0 {
+		fmt.Fprintln(w, "\ndegraded network: retrying clients through chaos transports (completed req/s; errors = ops that failed all retries)")
+		dt := newTable("scenario", "clients", "req/s", "p50", "p99", "errors", "retries")
+		for _, pt := range degraded {
+			dt.add(pt.Scenario, fmt.Sprint(pt.Clients),
+				fmt.Sprintf("%.0f", pt.ReqPerSec),
+				pt.P50.Round(time.Microsecond).String(), pt.P99.Round(time.Microsecond).String(),
+				fmt.Sprint(pt.Errors), fmt.Sprint(pt.Retries))
+		}
+		dt.print(w)
+	}
 }

@@ -1,0 +1,324 @@
+// Package chaos is a seeded, deterministic fault injector for wtfd's
+// transport. It wraps net.Conn (and net.Listener / the client's Dial hook)
+// so that a test can subject the real server and the real client to the
+// failure modes a network actually produces — added latency, connections
+// reset mid-frame, dribbling partial writes, one-way partitions, corrupted
+// bytes — without changing a line of the wire protocol or the code under
+// test.
+//
+// Determinism is the point: every fault decision is drawn from a splitmix64
+// stream derived from (Plan.Seed, connection index, side), where the
+// connection index is the order in which connections were wrapped and the
+// side separates the read-side stream from the write-side stream. A failing
+// schedule is therefore replayable from its seed alone (goroutine
+// interleaving still varies, but WHICH operations fault, and how, does
+// not). The sweep tests print the seed of any failing schedule in a
+// WTFD_CHAOS_SEED=... form that the replay test consumes.
+//
+// Fault model notes:
+//
+//   - Drops are modeled as resets after a partial delivery. TCP cannot lose
+//     bytes from the middle of a healthy stream; what a dropped packet run
+//     does to an application is stall it and then kill the connection. A
+//     write reset delivers a prefix of the frame first, which is exactly
+//     the torn-frame shape the server's decoder must survive.
+//   - A partition is one-way silence: writes still flow, reads deliver
+//     nothing (incoming bytes are discarded, not backpressured). The
+//     connection heals only when a peer — typically the server's idle
+//     reaper — closes it. This is the lost-ack shape: the request commits,
+//     the ack evaporates.
+//   - Corruption flips one byte of delivered read data. wtfd's wire frames
+//     carry no checksum (the WAL's CRCs are below this layer), so the
+//     decoder may accept garbage as a well-formed frame; corruption
+//     scenarios therefore assert survival (no panic, no hang, bounded
+//     error) rather than oracle-grade semantics.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is wrapped by every transport error the injector manufactures,
+// so tests can tell injected faults from real ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Plan is one fault schedule's parameters. The zero value injects nothing.
+type Plan struct {
+	// Seed roots every random decision the plan's connections make.
+	Seed uint64
+
+	// LatencyProb is the chance in [0,1] that one Read or Write sleeps for
+	// a jitter drawn uniformly from (0, MaxLatency] before proceeding.
+	LatencyProb float64
+	MaxLatency  time.Duration
+
+	// ResetProb is the chance that one Read or Write resets the connection
+	// instead of completing. A write reset delivers a random prefix of the
+	// buffer first (a torn frame); a read reset delivers nothing. Either
+	// way the underlying connection is closed and the call returns an
+	// ErrInjected-wrapped error.
+	ResetProb float64
+
+	// WriteChunk, when > 0, splits every Write into chunks of at most this
+	// many bytes with a latency-jittered pause between them: a slow,
+	// dribbling writer whose frames arrive in pieces.
+	WriteChunk int
+
+	// PartitionProb is the chance, evaluated once per Read, that the
+	// connection enters a one-way partition: reads discard incoming bytes
+	// while writes keep flowing, so requests still commit while their acks
+	// vanish. After PartitionFor (default 200ms) the connection dies with
+	// a reset, the way a real partition ends in an RST or a peer timeout —
+	// the server cannot reap it sooner, because from its side the
+	// connection is live and chatty.
+	PartitionProb float64
+	PartitionFor  time.Duration
+
+	// CorruptProb is the chance that one Read flips a single byte of the
+	// data it delivers.
+	CorruptProb float64
+
+	// SpareOps exempts the first n operations on each side of every
+	// connection from faults, so a schedule cannot starve a scenario of
+	// all progress. 0 spares nothing.
+	SpareOps int
+}
+
+// Scenarios returns the named fault scenarios the conformance sweep runs,
+// in a fixed order.
+func Scenarios() []string {
+	return []string{"reset", "partial-write", "slow-client", "partition", "corrupt"}
+}
+
+// Scenario returns the named scenario's plan rooted at seed. The presets
+// keep latencies small (a few ms) so sweeps stay fast; their probabilities
+// are chosen so a few hundred operations reliably hit each fault several
+// times.
+func Scenario(name string, seed uint64) (Plan, error) {
+	p := Plan{Seed: seed, SpareOps: 2}
+	switch name {
+	case "reset":
+		p.ResetProb = 0.05
+		p.LatencyProb, p.MaxLatency = 0.10, 2*time.Millisecond
+	case "partial-write":
+		p.WriteChunk = 5
+		p.ResetProb = 0.03
+		p.LatencyProb, p.MaxLatency = 0.20, time.Millisecond
+	case "slow-client":
+		p.LatencyProb, p.MaxLatency = 0.60, 4*time.Millisecond
+		p.ResetProb = 0.01
+	case "partition":
+		p.PartitionProb = 0.02
+		p.PartitionFor = 200 * time.Millisecond
+		p.LatencyProb, p.MaxLatency = 0.10, time.Millisecond
+	case "corrupt":
+		p.CorruptProb = 0.05
+		p.ResetProb = 0.02
+	default:
+		return Plan{}, fmt.Errorf("chaos: unknown scenario %q", name)
+	}
+	return p, nil
+}
+
+// prng is splitmix64: tiny, seedable, and good enough to decorrelate fault
+// decisions. Each connection side owns one, so read faults never perturb
+// the write-side schedule.
+type prng struct{ s uint64 }
+
+func (p *prng) next() uint64 {
+	p.s += 0x9e3779b97f4a7c15
+	z := p.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0, 1).
+func (p *prng) float() float64 { return float64(p.next()>>11) / (1 << 53) }
+
+// intn returns a uniform int in [0, n).
+func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }
+
+// jitter returns a uniform duration in (0, max] (0 if max is not positive).
+func (p *prng) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(p.intn(int(max))) + 1
+}
+
+// Injector derives per-connection fault schedules from one Plan.
+type Injector struct {
+	plan  Plan
+	conns atomic.Uint64
+}
+
+// NewInjector returns an injector for plan.
+func NewInjector(plan Plan) *Injector { return &Injector{plan: plan} }
+
+// Wrap returns nc with the injector's faults applied. Each wrapped
+// connection gets the next connection index and two independent random
+// streams (read side, write side) derived from it.
+func (in *Injector) Wrap(nc net.Conn) net.Conn {
+	idx := in.conns.Add(1)
+	c := &Conn{Conn: nc, plan: &in.plan}
+	// Domain-separate the two sides by hashing (seed, idx, side) through
+	// one splitmix step each.
+	c.rrng.s = (&prng{s: in.plan.Seed ^ idx<<1}).next()
+	c.wrng.s = (&prng{s: in.plan.Seed ^ idx<<1 ^ 1}).next()
+	return c
+}
+
+// Dialer returns a dial function in the shape of client.Options.Dial that
+// dials TCP and wraps the result.
+func (in *Injector) Dialer() func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		nc, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return in.Wrap(nc), nil
+	}
+}
+
+// Listener wraps ln so every accepted connection carries the injector's
+// faults (server-side injection).
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &chaosListener{Listener: ln, in: in}
+}
+
+type chaosListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Wrap(nc), nil
+}
+
+// Conn is one fault-injected connection. All Read faults draw from the
+// read-side stream and all Write faults from the write-side stream, so the
+// two sides' schedules are independent and each is deterministic in the
+// number of calls made on it.
+type Conn struct {
+	net.Conn
+	plan *Plan
+
+	rmu         sync.Mutex // serializes Read fault decisions
+	rrng        prng
+	reads       int
+	partitioned bool
+
+	wmu    sync.Mutex // serializes Write fault decisions
+	wrng   prng
+	writes int
+}
+
+// reset closes the underlying connection and returns the injected error.
+func (c *Conn) reset(side string) error {
+	c.Conn.Close()
+	return fmt.Errorf("%w: %s reset", ErrInjected, side)
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.partitioned {
+		return 0, c.discard(p)
+	}
+	c.reads++
+	if c.reads > c.plan.SpareOps {
+		switch {
+		case c.plan.ResetProb > 0 && c.rrng.float() < c.plan.ResetProb:
+			return 0, c.reset("read")
+		case c.plan.PartitionProb > 0 && c.rrng.float() < c.plan.PartitionProb:
+			c.partitioned = true
+			return 0, c.discard(p)
+		}
+		if c.plan.LatencyProb > 0 && c.rrng.float() < c.plan.LatencyProb {
+			time.Sleep(c.rrng.jitter(c.plan.MaxLatency))
+		}
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.plan.CorruptProb > 0 && c.reads > c.plan.SpareOps &&
+		c.rrng.float() < c.plan.CorruptProb {
+		p[c.rrng.intn(n)] ^= byte(1 + c.rrng.intn(255))
+	}
+	return n, err
+}
+
+// discard is the partitioned read path: incoming bytes are consumed and
+// thrown away (no TCP backpressure on the peer's writes) until either the
+// peer closes the connection or the partition window elapses, at which
+// point the connection dies with a reset and the client fails over.
+func (c *Conn) discard(p []byte) error {
+	buf := p
+	if len(buf) == 0 {
+		buf = make([]byte, 512)
+	}
+	window := c.plan.PartitionFor
+	if window <= 0 {
+		window = 200 * time.Millisecond
+	}
+	deadline := time.Now().Add(window)
+	for {
+		if time.Now().After(deadline) {
+			return c.reset("partition")
+		}
+		c.Conn.SetReadDeadline(time.Now().Add(window / 8))
+		if _, err := c.Conn.Read(buf); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return fmt.Errorf("%w: partitioned (%v)", ErrInjected, err)
+		}
+	}
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.writes++
+	fault := c.writes > c.plan.SpareOps
+	if fault && c.plan.ResetProb > 0 && c.wrng.float() < c.plan.ResetProb {
+		// Torn frame: deliver a random prefix, then kill the connection.
+		n := 0
+		if len(p) > 1 {
+			n, _ = c.Conn.Write(p[:c.wrng.intn(len(p))])
+		}
+		return n, c.reset("write")
+	}
+	if fault && c.plan.LatencyProb > 0 && c.wrng.float() < c.plan.LatencyProb {
+		time.Sleep(c.wrng.jitter(c.plan.MaxLatency))
+	}
+	if c.plan.WriteChunk <= 0 || len(p) <= c.plan.WriteChunk {
+		return c.Conn.Write(p)
+	}
+	// Dribble the buffer out in chunks with jittered pauses.
+	written := 0
+	for written < len(p) {
+		end := written + c.plan.WriteChunk
+		if end > len(p) {
+			end = len(p)
+		}
+		n, err := c.Conn.Write(p[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if written < len(p) && c.plan.MaxLatency > 0 {
+			time.Sleep(c.wrng.jitter(c.plan.MaxLatency))
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,193 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a chaos-wrapped client end and the raw server end of an
+// in-memory connection.
+func pipePair(in *Injector) (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return in.Wrap(a), b
+}
+
+func TestScenarioPresets(t *testing.T) {
+	for _, name := range Scenarios() {
+		p, err := Scenario(name, 42)
+		if err != nil {
+			t.Fatalf("Scenario(%q): %v", name, err)
+		}
+		if p.Seed != 42 {
+			t.Fatalf("Scenario(%q) dropped the seed", name)
+		}
+	}
+	if _, err := Scenario("nope", 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// faultIndex drives 1-byte writes through a fresh wrapped pipe until the
+// injector kills the connection, and returns how many writes survived.
+func faultIndex(t *testing.T, in *Injector) int {
+	t.Helper()
+	c, peer := pipePair(in)
+	defer c.Close()
+	defer peer.Close()
+	go io.Copy(io.Discard, peer)
+	for i := 0; i < 10_000; i++ {
+		if _, err := c.Write([]byte{byte(i)}); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("fault not marked injected: %v", err)
+			}
+			return i
+		}
+	}
+	t.Fatalf("no fault within 10000 writes")
+	return -1
+}
+
+// TestDeterministicSchedule is the property the whole harness rests on:
+// identically seeded injectors produce identical fault schedules,
+// connection by connection.
+func TestDeterministicSchedule(t *testing.T) {
+	plan, err := Scenario("reset", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := func() []int {
+		in := NewInjector(plan)
+		var idx []int
+		for c := 0; c < 5; c++ {
+			idx = append(idx, faultIndex(t, in))
+		}
+		return idx
+	}
+	first, second := runs(), runs()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("schedules diverged at conn %d: %v vs %v", i, first, second)
+		}
+	}
+}
+
+// TestChunkedWriteReassembly: a dribbling writer still delivers every byte
+// in order.
+func TestChunkedWriteReassembly(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, WriteChunk: 5, MaxLatency: 100 * time.Microsecond, LatencyProb: 1})
+	c, peer := pipePair(in)
+	defer c.Close()
+	defer peer.Close()
+
+	msg := bytes.Repeat([]byte("wtfd-frame-"), 40)
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, len(msg))
+		io.ReadFull(peer, buf)
+		got <- buf
+	}()
+	if n, err := c.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("chunked write: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(<-got, msg) {
+		t.Fatal("chunked write corrupted the stream")
+	}
+}
+
+// TestResetTearsFrame: a write reset delivers at most a strict prefix and
+// closes the connection.
+func TestResetTearsFrame(t *testing.T) {
+	in := NewInjector(Plan{Seed: 9, ResetProb: 1})
+	c, peer := pipePair(in)
+	defer peer.Close()
+
+	msg := []byte("this frame will be torn")
+	delivered := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(peer)
+		delivered <- buf
+	}()
+	n, err := c.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected reset, got n=%d err=%v", n, err)
+	}
+	if prefix := <-delivered; len(prefix) >= len(msg) {
+		t.Fatalf("reset delivered the whole frame (%d bytes)", len(prefix))
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write succeeded after reset")
+	}
+}
+
+// TestPartitionDiscardsThenDies: a partitioned read delivers nothing while
+// the peer writes freely, and the connection dies with a reset once the
+// partition window elapses.
+func TestPartitionDiscardsThenDies(t *testing.T) {
+	in := NewInjector(Plan{Seed: 5, PartitionProb: 1, PartitionFor: 80 * time.Millisecond})
+	c, peer := pipePair(in)
+	defer peer.Close()
+
+	go func() {
+		for i := 0; i < 20; i++ {
+			if _, err := peer.Write([]byte("lost ack")); err != nil {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	start := time.Now()
+	buf := make([]byte, 64)
+	n, err := c.Read(buf)
+	if n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("partitioned read: n=%d err=%v, want 0 bytes and injected error", n, err)
+	}
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Fatalf("partition ended after %v, before its window", el)
+	}
+}
+
+// TestCorruptionFlipsOneByte: corruption delivers the right length with a
+// single flipped byte.
+func TestCorruptionFlipsOneByte(t *testing.T) {
+	in := NewInjector(Plan{Seed: 11, CorruptProb: 1})
+	c, peer := pipePair(in)
+	defer c.Close()
+	defer peer.Close()
+
+	msg := []byte("checksums would catch this")
+	go peer.Write(msg)
+	buf := make([]byte, len(msg))
+	n, err := io.ReadFull(c, buf)
+	if err != nil || n != len(msg) {
+		t.Fatalf("corrupted read: n=%d err=%v", n, err)
+	}
+	diff := 0
+	for i := range msg {
+		if buf[i] != msg[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("CorruptProb=1 delivered clean data")
+	}
+}
+
+// TestSpareOpsProtectHandshake: the first SpareOps operations never fault.
+func TestSpareOpsProtectHandshake(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, ResetProb: 1, SpareOps: 3})
+	c, peer := pipePair(in)
+	defer peer.Close()
+	go io.Copy(io.Discard, peer)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Write([]byte{1}); err != nil {
+			t.Fatalf("spared write %d faulted: %v", i, err)
+		}
+	}
+	if _, err := c.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after spare window did not fault: %v", err)
+	}
+}

@@ -13,13 +13,30 @@
 // A connection that fails is redialed transparently on its next use: calls
 // in flight on the broken connection return the transport error, later
 // calls re-establish the connection (see TestReconnectAfterRestart).
+//
+// With Options.Retry enabled the client additionally retries failed calls
+// with exponential backoff + jitter, idempotency-aware: reads (GET, PING,
+// STATS) are simply resent, while every write — PUT, DEL, CAS, MULTI — is
+// resent under the wire DEDUP envelope, which the server's exactly-once
+// table answers from memory if an earlier send actually applied. CAS and
+// MULTI need the envelope for correctness (a blind re-run could
+// double-apply); PUT and DEL get it so a resend whose original frame is
+// still queued server-side cannot re-apply a stale value after a newer
+// write — which is what keeps per-key reads monotonic under retries.
+// StatusBusy (overload shedding) and StatusUnavailable responses are
+// retried for every op: the server refused the request without executing
+// it. The context-taking variants (GetCtx, PutCtx, ...) bound the whole
+// call — dialing, backoff and all resends — by the context's deadline
+// instead of retrying forever.
 package client
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -35,8 +52,50 @@ type Options struct {
 	// Conns is the connection-pool size; default 2. Calls are spread
 	// round-robin; each connection pipelines independently.
 	Conns int
-	// DialTimeout bounds one connection attempt; default 5s.
+	// DialTimeout bounds one connection attempt; default 5s. A context
+	// deadline caps it further.
 	DialTimeout time.Duration
+	// Dial overrides the transport dialer (fault-injection tests wrap the
+	// returned net.Conn); nil means plain TCP.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Retry enables transparent retry with exponential backoff. The zero
+	// value disables it: transport errors surface to the caller, as before.
+	Retry RetryPolicy
+	// ClientID is this client's identity in the server's exactly-once table
+	// (the DEDUP envelope on retried CAS/MULTI). 0 means a random identity,
+	// which is what production wants; tests pin it for determinism.
+	ClientID uint64
+}
+
+// RetryPolicy bounds transparent call retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per call, including the
+	// first. 0 (and 1) disable retry.
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff ceiling; default 5ms. Each
+	// further attempt doubles it, capped at MaxBackoff (default 500ms), and
+	// the actual sleep is uniformly jittered over [d/2, d).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+func (p *RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+// backoff returns the jittered sleep before retry attempt (attempt 1 = the
+// first resend).
+func (p *RetryPolicy) backoff(attempt int) time.Duration {
+	base, max := p.BaseBackoff, p.MaxBackoff
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 500 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d/2 + rand.N(d/2)
 }
 
 func (o *Options) withDefaults() Options {
@@ -46,6 +105,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.DialTimeout <= 0 {
 		out.DialTimeout = 5 * time.Second
+	}
+	if out.ClientID == 0 {
+		out.ClientID = rand.Uint64() | 1 // 0 is reserved for "unset"
 	}
 	return out
 }
@@ -74,6 +136,31 @@ type Client struct {
 	closed atomic.Bool
 	next   atomic.Uint64
 	slots  []*slot
+
+	seq atomic.Uint64 // DEDUP sequence numbers (one per enveloped write)
+
+	retries     atomic.Int64 // resends after transport errors
+	busyRetries atomic.Int64 // resends after StatusBusy/StatusUnavailable
+	redials     atomic.Int64 // connections dialed beyond the first per slot
+}
+
+// Metrics is a snapshot of the client's retry counters.
+type Metrics struct {
+	// Retries counts resends after transport errors; BusyRetries counts
+	// resends after the server refused a request (BUSY shedding or drain);
+	// Redials counts reconnections after a slot's connection failed.
+	Retries     int64
+	BusyRetries int64
+	Redials     int64
+}
+
+// Metrics returns the client's retry counters.
+func (cl *Client) Metrics() Metrics {
+	return Metrics{
+		Retries:     cl.retries.Load(),
+		BusyRetries: cl.busyRetries.Load(),
+		Redials:     cl.redials.Load(),
+	}
 }
 
 // slot is one pool position: a lazily dialed, replace-on-failure conn.
@@ -140,8 +227,10 @@ func (cl *Client) Close() {
 }
 
 // acquire picks the next pool slot and returns its live connection,
-// (re)dialing if the slot is empty or its connection has failed.
-func (cl *Client) acquire() (*conn, error) {
+// (re)dialing if the slot is empty or its connection has failed. A context
+// deadline caps the dial timeout, so a bounded caller is never stuck in a
+// full DialTimeout against a gone server.
+func (cl *Client) acquire(ctx context.Context) (*conn, error) {
 	if cl.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -151,9 +240,27 @@ func (cl *Client) acquire() (*conn, error) {
 	if s.c != nil && !s.c.failed.Load() {
 		return s.c, nil
 	}
-	nc, err := net.DialTimeout("tcp", cl.opts.Addr, cl.opts.DialTimeout)
+	timeout := cl.opts.DialTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < timeout {
+			timeout = rem
+		}
+		if timeout <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+	}
+	dial := cl.opts.Dial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := dial(cl.opts.Addr, timeout)
 	if err != nil {
 		return nil, err
+	}
+	if s.c != nil {
+		cl.redials.Add(1)
 	}
 	c := &conn{nc: nc, bw: bufio.NewWriter(nc)}
 	for i := range c.pend {
@@ -221,8 +328,8 @@ func (c *conn) readLoop() {
 }
 
 // roundTrip sends req (assigning its ID) and waits for the matching
-// response.
-func (c *conn) roundTrip(req *wire.Request) (wire.Response, error) {
+// response, or for ctx to end.
+func (c *conn) roundTrip(ctx context.Context, req *wire.Request) (wire.Response, error) {
 	ch := respChanPool.Get().(chan wire.Response)
 	id := c.idSeq.Add(1)
 	req.ID = id
@@ -264,33 +371,127 @@ func (c *conn) roundTrip(req *wire.Request) (wire.Response, error) {
 		c.fail(fmt.Errorf("client: write failed: %w", werr))
 	}
 
-	resp, ok := <-ch
-	if !ok {
-		// Closed by the failure sweep: the channel cannot be reused.
-		err := c.lastErr()
-		if err == nil {
-			err = errors.New("client: connection closed")
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			// Closed by the failure sweep: the channel cannot be reused.
+			err := c.lastErr()
+			if err == nil {
+				err = errors.New("client: connection closed")
+			}
+			return wire.Response{}, err
 		}
-		return wire.Response{}, err
+		respChanPool.Put(ch)
+		return resp, nil
+	case <-ctx.Done():
+		// Abandon the wait. Deregister so the read loop stops tracking the
+		// ID, but never return ch to the pool: the read loop may have
+		// already fetched it and be about to send (the buffered slot absorbs
+		// that send; the channel is then garbage).
+		sh.mu.Lock()
+		if sh.m != nil {
+			delete(sh.m, id)
+		}
+		sh.mu.Unlock()
+		return wire.Response{}, ctx.Err()
 	}
-	respChanPool.Put(ch)
-	return resp, nil
 }
 
-func (cl *Client) call(req *wire.Request) (wire.Response, error) {
-	c, err := cl.acquire()
-	if err != nil {
-		return wire.Response{}, err
+// retriableStatus reports a response the server answered without executing
+// the request: shed under overload (BUSY) or refused while draining. Safe to
+// retry for every op.
+func retriableStatus(st wire.Status) bool {
+	return st == wire.StatusBusy || st == wire.StatusUnavailable
+}
+
+// do runs one call under ctx and the retry policy. resendSafe marks ops
+// whose blind resend cannot double-apply (reads, PUT/DEL, PING/STATS — and
+// any dedup-enveloped write, where the server's exactly-once table absorbs
+// the duplicate). A transport error on a non-resend-safe op surfaces
+// immediately: the first send may have applied.
+func (cl *Client) do(ctx context.Context, req *wire.Request, resendSafe bool) (wire.Response, error) {
+	attempts := cl.opts.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	return c.roundTrip(req)
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return wire.Response{}, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
+			}
+			return wire.Response{}, err
+		}
+		c, err := cl.acquire(ctx)
+		if err == nil {
+			var resp wire.Response
+			resp, err = c.roundTrip(ctx, req)
+			switch {
+			case err == nil && retriableStatus(resp.Result.Status) && attempt < attempts:
+				// Refused without execution; any op may retry.
+				cl.busyRetries.Add(1)
+				lastErr = statusErr(&resp.Result)
+				if serr := cl.sleepBackoff(ctx, attempt); serr != nil {
+					return wire.Response{}, fmt.Errorf("%w (last attempt: %w)", serr, lastErr)
+				}
+				continue
+			case err == nil:
+				return resp, nil
+			case errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				return wire.Response{}, err
+			case !resendSafe && !req.Dedup:
+				// The send may have applied and the ack is lost; a blind
+				// resend could double-apply. The caller must decide.
+				return wire.Response{}, err
+			}
+		}
+		// Transport or dial failure on a resend-safe (or enveloped) op.
+		if attempt >= attempts {
+			return wire.Response{}, err
+		}
+		cl.retries.Add(1)
+		lastErr = err
+		if serr := cl.sleepBackoff(ctx, attempt); serr != nil {
+			return wire.Response{}, fmt.Errorf("%w (last attempt: %w)", serr, lastErr)
+		}
+	}
+}
+
+// sleepBackoff sleeps the policy's jittered backoff for attempt, or returns
+// early with the context's error.
+func (cl *Client) sleepBackoff(ctx context.Context, attempt int) error {
+	timer := time.NewTimer(cl.opts.Retry.backoff(attempt))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// envelope marks a write request for exactly-once resend when retry is on:
+// the server remembers the outcome under (ClientID, seq), so the resend of a
+// lost ack is answered from memory instead of re-applied.
+func (cl *Client) envelope(req *wire.Request) {
+	if !cl.opts.Retry.enabled() {
+		return
+	}
+	req.Dedup = true
+	req.ClientID = cl.opts.ClientID
+	req.Seq = cl.seq.Add(1)
 }
 
 // callCmd round-trips a pooled single-command request.
-func (cl *Client) callCmd(op wire.Op, cmd wire.Cmd) (wire.Response, error) {
+func (cl *Client) callCmd(ctx context.Context, op wire.Op, cmd wire.Cmd, resendSafe bool) (wire.Response, error) {
 	req := wire.AcquireRequest()
 	req.Op = op
 	req.Cmd = cmd
-	resp, err := cl.call(req)
+	switch op {
+	case wire.OpPut, wire.OpDel, wire.OpCAS:
+		cl.envelope(req)
+	}
+	resp, err := cl.do(ctx, req, resendSafe)
 	req.Cmd = wire.Cmd{} // caller owns cmd's buffers; don't recycle them
 	wire.ReleaseRequest(req)
 	return resp, err
@@ -305,8 +506,11 @@ func statusErr(res *wire.Result) error {
 }
 
 // Ping round-trips an empty request.
-func (cl *Client) Ping() error {
-	resp, err := cl.callCmd(wire.OpPing, wire.Cmd{})
+func (cl *Client) Ping() error { return cl.PingCtx(context.Background()) }
+
+// PingCtx is Ping bounded by ctx.
+func (cl *Client) PingCtx(ctx context.Context) error {
+	resp, err := cl.callCmd(ctx, wire.OpPing, wire.Cmd{}, true)
 	if err != nil {
 		return err
 	}
@@ -318,7 +522,12 @@ func (cl *Client) Ping() error {
 
 // Get returns the value of key and whether it is present.
 func (cl *Client) Get(key string) (string, bool, error) {
-	resp, err := cl.callCmd(wire.OpGet, wire.Get(key))
+	return cl.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get bounded by ctx.
+func (cl *Client) GetCtx(ctx context.Context, key string) (string, bool, error) {
+	resp, err := cl.callCmd(ctx, wire.OpGet, wire.Get(key), true)
 	if err != nil {
 		return "", false, err
 	}
@@ -334,7 +543,14 @@ func (cl *Client) Get(key string) (string, bool, error) {
 
 // Put stores val under key.
 func (cl *Client) Put(key, val string) error {
-	resp, err := cl.callCmd(wire.OpPut, wire.Put(key, []byte(val)))
+	return cl.PutCtx(context.Background(), key, val)
+}
+
+// PutCtx is Put bounded by ctx. A PUT resend cannot corrupt state (same
+// value), but it still travels under the DEDUP envelope with retry enabled
+// so a stale duplicate can never re-apply after a newer write.
+func (cl *Client) PutCtx(ctx context.Context, key, val string) error {
+	resp, err := cl.callCmd(ctx, wire.OpPut, wire.Put(key, []byte(val)), true)
 	if err != nil {
 		return err
 	}
@@ -346,7 +562,13 @@ func (cl *Client) Put(key, val string) error {
 
 // Del removes key, reporting whether it was present.
 func (cl *Client) Del(key string) (bool, error) {
-	resp, err := cl.callCmd(wire.OpDel, wire.Del(key))
+	return cl.DelCtx(context.Background(), key)
+}
+
+// DelCtx is Del bounded by ctx; enveloped like PUT when retry is enabled
+// (the "was present" report then describes the first application).
+func (cl *Client) DelCtx(ctx context.Context, key string) (bool, error) {
+	resp, err := cl.callCmd(ctx, wire.OpDel, wire.Del(key), true)
 	if err != nil {
 		return false, err
 	}
@@ -364,7 +586,16 @@ func (cl *Client) Del(key string) (bool, error) {
 // expect (nil expect ⇒ key must be absent). On mismatch it reports ok ==
 // false and the current value (cur == nil: key absent).
 func (cl *Client) CAS(key string, expect []byte, val string) (ok bool, cur []byte, err error) {
-	resp, err := cl.callCmd(wire.OpCAS, wire.CAS(key, expect, []byte(val)))
+	return cl.CASCtx(context.Background(), key, expect, val)
+}
+
+// CASCtx is CAS bounded by ctx. A CAS is never blindly resent: with retry
+// enabled it travels under the DEDUP envelope (the server answers a resend
+// from its exactly-once table — a blind re-run against the CAS's own effect
+// would report a spurious mismatch); without retry a transport failure
+// surfaces to the caller, who alone knows whether re-running is safe.
+func (cl *Client) CASCtx(ctx context.Context, key string, expect []byte, val string) (ok bool, cur []byte, err error) {
+	resp, err := cl.callCmd(ctx, wire.OpCAS, wire.CAS(key, expect, []byte(val)), false)
 	if err != nil {
 		return false, nil, err
 	}
@@ -386,10 +617,18 @@ func (cl *Client) CAS(key string, expect []byte, val string) (ok bool, cur []byt
 // the per-command results and whether the batch applied; applied == false
 // means a CAS in the batch failed and no write was applied.
 func (cl *Client) Multi(cmds []wire.Cmd) (results []wire.Result, applied bool, err error) {
+	return cl.MultiCtx(context.Background(), cmds)
+}
+
+// MultiCtx is Multi bounded by ctx. Like CAS, a MULTI is resent only under
+// the DEDUP envelope (retry enabled); its batch may carry non-idempotent
+// effects.
+func (cl *Client) MultiCtx(ctx context.Context, cmds []wire.Cmd) (results []wire.Result, applied bool, err error) {
 	req := wire.AcquireRequest()
 	req.Op = wire.OpMulti
 	req.Batch = cmds
-	resp, err := cl.call(req)
+	cl.envelope(req)
+	resp, err := cl.do(ctx, req, false)
 	req.Batch = nil // caller owns cmds; don't recycle their buffers
 	wire.ReleaseRequest(req)
 	if err != nil {
@@ -407,7 +646,12 @@ func (cl *Client) Multi(cmds []wire.Cmd) (results []wire.Result, applied bool, e
 
 // Stats fetches and decodes the server's STATS document.
 func (cl *Client) Stats() (*wire.StatsReply, error) {
-	resp, err := cl.callCmd(wire.OpStats, wire.Cmd{})
+	return cl.StatsCtx(context.Background())
+}
+
+// StatsCtx is Stats bounded by ctx.
+func (cl *Client) StatsCtx(ctx context.Context) (*wire.StatsReply, error) {
+	resp, err := cl.callCmd(ctx, wire.OpStats, wire.Cmd{}, true)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,166 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wtftm/internal/server"
+)
+
+func startTestServer(t *testing.T) *server.Server {
+	t.Helper()
+	s, err := server.New(server.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(s.Drain)
+	return s
+}
+
+// TestRetryTransientDialFailure: with retry enabled, a call rides out a few
+// failed dials and succeeds once the transport recovers.
+func TestRetryTransientDialFailure(t *testing.T) {
+	s := startTestServer(t)
+	var dials atomic.Int64
+	cl := New(Options{
+		Addr:  s.Addr().String(),
+		Conns: 1,
+		Dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+			if dials.Add(1) <= 3 {
+				return nil, errors.New("injected dial failure")
+			}
+			return net.DialTimeout("tcp", addr, timeout)
+		},
+		Retry: RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+	})
+	defer cl.Close()
+
+	if err := cl.Put("k", "v"); err != nil {
+		t.Fatalf("Put with transient dial failures: %v", err)
+	}
+	if got := cl.Metrics().Retries; got < 3 {
+		t.Fatalf("Retries = %d, want >= 3", got)
+	}
+	if v, ok, err := cl.Get("k"); err != nil || !ok || v != "v" {
+		t.Fatalf("Get after retried Put = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+// TestRetryRespectsContextDeadline is the satellite fix under test: with the
+// server gone and an aggressive retry policy, a context-bounded call must
+// return promptly with the deadline error instead of retrying forever.
+func TestRetryRespectsContextDeadline(t *testing.T) {
+	s := startTestServer(t)
+	addr := s.Addr().String()
+	s.Drain() // nothing listens there anymore
+
+	cl := New(Options{
+		Addr:  addr,
+		Conns: 1,
+		Retry: RetryPolicy{MaxAttempts: 1 << 20, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 20 * time.Millisecond},
+	})
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := cl.PingCtx(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("PingCtx against gone server: err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("PingCtx took %v; the deadline did not bound the retry loop", elapsed)
+	}
+
+	// A pre-cancelled context short-circuits before any dialing.
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	if err := cl.PingCtx(cctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled PingCtx: err = %v, want Canceled", err)
+	}
+}
+
+// dropReadsConn delivers writes but never a response: the request reaches
+// the server, the ack is lost — the lost-ack shape that makes blind CAS
+// retry dangerous.
+type dropReadsConn struct {
+	net.Conn
+	delay time.Duration
+}
+
+func (c *dropReadsConn) Read(p []byte) (int, error) {
+	// Give the server time to execute the delivered request first, so the
+	// retry exercises the dedup-table hit path rather than racing it.
+	time.Sleep(c.delay)
+	c.Conn.Close()
+	return 0, errors.New("injected read failure (ack lost)")
+}
+
+// TestCASRetryExactlyOnce: a CAS whose ack is lost is resent under the DEDUP
+// envelope and answered from the server's exactly-once table — the caller
+// sees the true outcome (ok), not the spurious mismatch a blind re-run
+// against the CAS's own effect would produce.
+func TestCASRetryExactlyOnce(t *testing.T) {
+	s := startTestServer(t)
+	var dials atomic.Int64
+	cl := New(Options{
+		Addr:     s.Addr().String(),
+		Conns:    1,
+		ClientID: 99,
+		Dial: func(addr string, timeout time.Duration) (net.Conn, error) {
+			nc, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				return nil, err
+			}
+			if dials.Add(1) == 1 {
+				return &dropReadsConn{Conn: nc, delay: 100 * time.Millisecond}, nil
+			}
+			return nc, nil
+		},
+		Retry: RetryPolicy{MaxAttempts: 6, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond},
+	})
+	defer cl.Close()
+
+	ok, cur, err := cl.CAS("key", nil, "created")
+	if err != nil || !ok {
+		t.Fatalf("CAS after lost ack = ok=%v cur=%q err=%v, want ok", ok, cur, err)
+	}
+	if v, found, err := cl.Get("key"); err != nil || !found || v != "created" {
+		t.Fatalf("Get after retried CAS = %q found=%v err=%v", v, found, err)
+	}
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if stats.Server.DedupHits < 1 {
+		t.Fatalf("DedupHits = %d, want >= 1 (the resend must have been answered from the table)", stats.Server.DedupHits)
+	}
+	if got := cl.Metrics().Retries; got < 1 {
+		t.Fatalf("Retries = %d, want >= 1", got)
+	}
+}
+
+// TestNoRetryByDefault pins the zero-value behavior existing users depend
+// on: without a retry policy a transport error surfaces immediately, and a
+// CAS is never resent.
+func TestNoRetryByDefault(t *testing.T) {
+	s := startTestServer(t)
+	addr := s.Addr().String()
+	s.Drain()
+	cl := New(Options{Addr: addr, Conns: 1})
+	defer cl.Close()
+	if err := cl.Put("k", "v"); err == nil {
+		t.Fatal("Put against gone server succeeded without retry policy")
+	}
+	if got := cl.Metrics().Retries; got != 0 {
+		t.Fatalf("Retries = %d without a policy, want 0", got)
+	}
+}

@@ -1,0 +1,155 @@
+// Exactly-once table for retried writes (the DEDUP wire envelope).
+//
+// The problem it solves: a client that loses its connection after sending a
+// non-idempotent write (CAS, MULTI) cannot tell whether the write applied —
+// the ack may have been lost after the commit. Blind resend risks applying
+// the write twice (a CAS observing its own first effect reports a spurious
+// mismatch; a MULTI doubles its side effects against interleaved writers).
+// So the client resends under a (clientID, seq) identity and the server
+// remembers the outcome of every identity it executed: a resend that finds
+// its identity in the table gets the remembered response verbatim, without
+// touching the store.
+//
+// Scope and bounds: the table answers the retry-after-transport-failure
+// window, not unbounded history. Each client keeps its most recent
+// maxDedupSeqs outcomes (evicted FIFO in arrival order — client sequence
+// numbers are assigned monotonically, so arrival order tracks seq order up
+// to pipelining depth), and the table keeps the most recently active
+// maxDedupClients clients. A resend that outlived both bounds re-executes;
+// for that to double-apply the client would need maxDedupSeqs acknowledged
+// writes in flight between the original send and the retry, far beyond any
+// real pipeline. Only settled outcomes are remembered: StatusOK, NotFound
+// and CASMismatch. StatusErr/Busy/Unavailable describe the attempt, not the
+// write — the retry must re-execute.
+package server
+
+import (
+	"sync"
+
+	"wtftm/internal/wire"
+)
+
+const (
+	// maxDedupClients bounds how many client identities the table tracks.
+	maxDedupClients = 256
+	// maxDedupSeqs bounds the remembered outcomes per client.
+	maxDedupSeqs = 512
+)
+
+// dedupEntry is one remembered write outcome. Its value slices are private
+// copies (the response they came from is pooled) and immutable once stored,
+// so lookups may alias them into outgoing responses without copying.
+type dedupEntry struct {
+	result wire.Result
+	batch  []wire.Result
+	hasBat bool // distinguishes a MULTI with an empty batch from a solo op
+}
+
+// dedupClient is one client identity's outcome window.
+type dedupClient struct {
+	entries  map[uint64]dedupEntry
+	order    []uint64 // arrival order, for FIFO eviction
+	lastUsed uint64   // table-wide admission tick, for client eviction
+}
+
+// dedupTable is the server-wide exactly-once table. One mutex suffices:
+// dedup'd requests are the retry path, never the hot path.
+type dedupTable struct {
+	mu      sync.Mutex
+	clients map[uint64]*dedupClient
+	tick    uint64
+}
+
+// lookup fills resp from the remembered outcome of (clientID, seq), if any.
+// resp.ID and resp.Op must already be set (they echo the resend's header,
+// which need not match the original's).
+func (t *dedupTable) lookup(clientID, seq uint64, resp *wire.Response) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cl := t.clients[clientID]
+	if cl == nil {
+		return false
+	}
+	e, ok := cl.entries[seq]
+	if !ok {
+		return false
+	}
+	t.tick++
+	cl.lastUsed = t.tick
+	resp.Result = e.result
+	if e.hasBat {
+		resp.Batch = append(resp.Batch[:0], e.batch...)
+	}
+	return true
+}
+
+// store remembers a freshly executed dedup'd write's outcome. Unsettled
+// statuses (Err, Busy, Unavailable) are not remembered — a retry must try
+// the write again, not be served the failure.
+func (t *dedupTable) store(clientID, seq uint64, resp *wire.Response) {
+	switch resp.Result.Status {
+	case wire.StatusOK, wire.StatusNotFound, wire.StatusCASMismatch:
+	default:
+		return
+	}
+	e := dedupEntry{result: resp.Result}
+	e.result.Val = cloneVal(resp.Result.Val)
+	if resp.Op == wire.OpMulti {
+		e.hasBat = true
+		e.batch = make([]wire.Result, len(resp.Batch))
+		for i, r := range resp.Batch {
+			e.batch[i] = r
+			e.batch[i].Val = cloneVal(r.Val)
+		}
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.clients == nil {
+		t.clients = make(map[uint64]*dedupClient)
+	}
+	t.tick++
+	cl := t.clients[clientID]
+	if cl == nil {
+		if len(t.clients) >= maxDedupClients {
+			t.evictClientLocked()
+		}
+		cl = &dedupClient{entries: make(map[uint64]dedupEntry)}
+		t.clients[clientID] = cl
+	}
+	cl.lastUsed = t.tick
+	if _, dup := cl.entries[seq]; !dup {
+		if len(cl.order) >= maxDedupSeqs {
+			delete(cl.entries, cl.order[0])
+			cl.order = cl.order[1:]
+		}
+		cl.order = append(cl.order, seq)
+	}
+	cl.entries[seq] = e
+}
+
+// evictClientLocked drops the least recently used client identity. O(n) over
+// a bounded map, on the rare path where a 257th client appears.
+func (t *dedupTable) evictClientLocked() {
+	var (
+		victim uint64
+		oldest uint64 = ^uint64(0)
+	)
+	for id, cl := range t.clients {
+		if cl.lastUsed <= oldest {
+			oldest = cl.lastUsed
+			victim = id
+		}
+	}
+	delete(t.clients, victim)
+}
+
+// cloneVal deep-copies a result value out of a pooled response.
+func cloneVal(v []byte) []byte {
+	if v == nil {
+		return nil
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}

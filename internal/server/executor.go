@@ -39,8 +39,13 @@ func newExecutor(s *Server, id int) *executor {
 // coalescible reports whether a request may join a group commit: exactly
 // the single-key store commands. (A CAS inside a group keeps its single-op
 // semantics — a mismatch skips only its own write — so coalescing changes
-// no observable outcome, only the number of commits.)
+// no observable outcome, only the number of commits.) Dedup-enveloped
+// resends always run solo so the exactly-once lookup/store stays a single
+// integration point in Server.execute.
 func coalescible(req *wire.Request) bool {
+	if req.Dedup {
+		return false
+	}
 	switch req.Op {
 	case wire.OpGet, wire.OpPut, wire.OpDel, wire.OpCAS:
 		return true
@@ -128,7 +133,7 @@ func (s *Server) executeTask(t task) {
 	s.execute(t.req, resp)
 	wire.ReleaseRequest(t.req)
 	t.c.send(resp)
-	t.c.pending.Done()
+	t.c.done()
 }
 
 // executeGroup commits a group of single-key commands as one transaction.
@@ -211,6 +216,6 @@ func (s *Server) executeGroup(group []task) {
 	for i := range group {
 		wire.ReleaseRequest(group[i].req)
 		group[i].c.send(group[i].resp)
-		group[i].c.pending.Done()
+		group[i].c.done()
 	}
 }

@@ -91,6 +91,18 @@ type Config struct {
 	// client stops reading is closed rather than allowed to wedge a worker.
 	// Default 30s.
 	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a connection may sit between frames (or
+	// take to deliver one frame) before the server reaps it: a partitioned
+	// or wedged client must not hold its connection — and the server-side
+	// goroutines behind it — forever. Default 2m; negative disables.
+	IdleTimeout time.Duration
+	// MaxInFlight bounds the admitted-but-unanswered request count across
+	// all connections. At the bound the server answers store requests with
+	// StatusBusy instead of queueing them (overload shedding: the client
+	// backs off and retries instead of deepening the queues); PING and
+	// STATS are always admitted so health checks see through overload.
+	// Default 4096; negative disables (unbounded queueing).
+	MaxInFlight int
 	// DataDir, when non-empty, enables durability: every shard gets a
 	// write-ahead log (and rolling snapshots) under this directory, boot
 	// recovers the store from it, and writes are acknowledged only after
@@ -173,6 +185,16 @@ func (c *Config) withDefaults() Config {
 	if out.WriteTimeout <= 0 {
 		out.WriteTimeout = 30 * time.Second
 	}
+	if out.IdleTimeout == 0 {
+		out.IdleTimeout = 2 * time.Minute
+	} else if out.IdleTimeout < 0 {
+		out.IdleTimeout = 0
+	}
+	if out.MaxInFlight == 0 {
+		out.MaxInFlight = 4096
+	} else if out.MaxInFlight < 0 {
+		out.MaxInFlight = 0
+	}
 	return out
 }
 
@@ -208,6 +230,8 @@ type Server struct {
 	connWG   sync.WaitGroup
 	execWG   sync.WaitGroup
 
+	dedup dedupTable // exactly-once table for retried writes
+
 	connsOpened   atomic.Int64
 	connsActive   atomic.Int64
 	requests      atomic.Int64
@@ -219,6 +243,10 @@ type Server struct {
 	groupedOps    atomic.Int64
 	writerQHWM    atomic.Int64
 	execQHWM      atomic.Int64
+	inflight      atomic.Int64
+	shed          atomic.Int64
+	dedupHits     atomic.Int64
+	idleReaped    atomic.Int64
 }
 
 // task is one admitted request awaiting execution. resp is filled in by the
@@ -370,7 +398,11 @@ func atomicMax(a *atomic.Int64, v int64) {
 
 // readLoop decodes frames and admits requests to their shard's executor. A
 // malformed frame closes only this connection (after counting it); a full
-// run queue blocks, exerting backpressure through TCP.
+// run queue blocks, exerting backpressure through TCP. Past MaxInFlight
+// admitted requests the loop sheds store requests with StatusBusy instead of
+// queueing them, and an IdleTimeout read deadline reaps connections that go
+// silent (re-armed at most every IdleTimeout/4 to keep the syscall off the
+// per-frame hot path).
 func (c *conn) readLoop() {
 	s := c.srv
 	defer func() {
@@ -383,15 +415,36 @@ func (c *conn) readLoop() {
 	}()
 	br := bufio.NewReader(c.nc)
 	var buf []byte
+	idle := s.cfg.IdleTimeout
+	var lastArm time.Time
+	if idle > 0 {
+		lastArm = time.Now()
+		c.nc.SetReadDeadline(lastArm.Add(idle))
+	}
 	for {
 		payload, err := wire.ReadFrame(br, buf)
 		if err != nil {
 			// EOF and deadline-induced errors are normal disconnect/drain;
-			// protocol violations are counted.
+			// protocol violations are counted, idle reaps tallied.
 			if errors.Is(err, wire.ErrFrameTooLarge) {
 				s.badFrames.Add(1)
 			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && !s.draining.Load() {
+				s.idleReaped.Add(1)
+			}
 			return
+		}
+		if idle > 0 {
+			if now := time.Now(); now.Sub(lastArm) >= idle/4 {
+				lastArm = now
+				c.nc.SetReadDeadline(now.Add(idle))
+				if s.draining.Load() {
+					// Drain may have set its unblocking deadline between our
+					// check and re-arm; restore it so Drain never wedges.
+					c.nc.SetReadDeadline(now)
+				}
+			}
 		}
 		// Reuse the backing array for the next frame, unless one oversized
 		// frame inflated it past the retention cap.
@@ -413,19 +466,37 @@ func (c *conn) readLoop() {
 			wire.ReleaseRequest(req)
 			return
 		}
+		if m := s.cfg.MaxInFlight; m > 0 && req.Op != wire.OpPing && req.Op != wire.OpStats &&
+			s.inflight.Load() >= int64(m) {
+			// Overload: refuse rather than queue. The connection stays open —
+			// shedding is per request, and the client's backoff is the relief
+			// valve.
+			s.shed.Add(1)
+			c.sendStatus(req, wire.StatusBusy)
+			wire.ReleaseRequest(req)
+			continue
+		}
 		ex := s.executorFor(req)
 		c.pending.Add(1)
+		s.inflight.Add(1)
 		depth := int64(len(ex.q)) + 1
 		select {
 		case ex.q <- task{c: c, req: req}:
 			atomicMax(&s.execQHWM, depth)
 		case <-s.quit:
-			c.pending.Done()
+			c.done()
 			c.sendStatus(req, wire.StatusUnavailable)
 			wire.ReleaseRequest(req)
 			return
 		}
 	}
+}
+
+// done retires one admitted request: the server-wide in-flight count (the
+// shedding bound) and the connection's pending count drop together.
+func (c *conn) done() {
+	c.srv.inflight.Add(-1)
+	c.pending.Done()
 }
 
 // sendStatus enqueues a bare-status response for req.
@@ -504,6 +575,25 @@ func (s *Server) execute(req *wire.Request, resp *wire.Response) {
 	}
 	s.requests.Add(1)
 	resp.ID, resp.Op = req.ID, req.Op
+	if req.Dedup {
+		// Exactly-once resend: answer a retried write from the table instead
+		// of applying it twice; first executions record their outcome after
+		// running. Dedup'd requests never coalesce (see coalescible), so this
+		// is the only integration point.
+		if s.dedup.lookup(req.ClientID, req.Seq, resp) {
+			s.dedupHits.Add(1)
+			return
+		}
+		s.executeOp(req, resp)
+		s.dedup.store(req.ClientID, req.Seq, resp)
+		return
+	}
+	s.executeOp(req, resp)
+}
+
+// executeOp dispatches one request to its handler (execute without the
+// dedup envelope handling).
+func (s *Server) executeOp(req *wire.Request, resp *wire.Response) {
 	switch req.Op {
 	case wire.OpPing:
 		resp.Result = wire.OKResult()
@@ -707,6 +797,11 @@ func (s *Server) statsReply() wire.StatsReply {
 			MultiBatches:   s.multiBatches.Load(),
 			FutureFanouts:  s.futureFanouts.Load(),
 			BadFrames:      s.badFrames.Load(),
+			MaxInFlight:    s.cfg.MaxInFlight,
+			InFlight:       s.inflight.Load(),
+			Shed:           s.shed.Load(),
+			DedupHits:      s.dedupHits.Load(),
+			IdleReaped:     s.idleReaped.Load(),
 			Draining:       s.draining.Load(),
 		},
 		Engine: wire.EngineStats{

@@ -25,6 +25,9 @@ func FuzzDecodeFrame(f *testing.F) {
 		{ID: 9, Op: OpCAS, Cmd: CAS("key", []byte("old"), []byte("new"))},
 		{ID: 10, Op: OpMulti, Batch: []Cmd{Get("a"), Put("b", []byte("c")), CAS("d", nil, []byte("e"))}},
 		{ID: 11, Op: OpStats},
+		{ID: 12, Op: OpPut, Cmd: Put("key", []byte("val")), Dedup: true, ClientID: 5, Seq: 3},
+		{ID: 13, Op: OpCAS, Cmd: CAS("key", []byte("o"), []byte("n")), Dedup: true, ClientID: 1 << 50, Seq: 9},
+		{ID: 14, Op: OpMulti, Batch: []Cmd{Del("a"), Put("b", []byte("c"))}, Dedup: true, ClientID: 7, Seq: 11},
 	} {
 		payload, err := AppendRequest(nil, &req)
 		if err != nil {
@@ -68,7 +71,8 @@ func FuzzDecodeFrame(f *testing.F) {
 			if err != nil {
 				t.Fatalf("re-encoded request does not decode: %x: %v", re, err)
 			}
-			if back.ID != req.ID || back.Op != req.Op || len(back.Batch) != len(req.Batch) {
+			if back.ID != req.ID || back.Op != req.Op || len(back.Batch) != len(req.Batch) ||
+				back.Dedup != req.Dedup || back.ClientID != req.ClientID || back.Seq != req.Seq {
 				t.Fatalf("request round trip mismatch: %+v vs %+v", req, back)
 			}
 		}

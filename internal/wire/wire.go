@@ -21,6 +21,16 @@
 //	CAS         key presentFlag [expect] value   (presentFlag 0 ⇒ expect-absent)
 //	MULTI       uvarint n, then n sub-commands (opcode byte + body; GET/PUT/DEL/CAS only)
 //	STATS, PING (empty)
+//	DEDUP       uvarint clientID, uvarint seq, then one inner write request
+//	            (opcode byte + body; PUT/DEL/CAS/MULTI only)
+//
+// DEDUP is the exactly-once resend envelope: a client that must resend a
+// non-idempotent write after a transport failure (the ack may have been lost
+// after the server applied the write) wraps it with its stable client ID and
+// a per-client sequence number. The server remembers the outcome of each
+// (clientID, seq) it executed and answers a resend from that memory instead
+// of applying the write twice. Decoded requests carry the envelope as
+// Dedup/ClientID/Seq with Op set to the inner opcode.
 //
 // Response bodies are a single result — byte status, byte hasVal,
 // [value] — except MULTI, whose overall result is followed by uvarint n
@@ -82,6 +92,10 @@ const (
 	OpMulti
 	OpStats
 	OpPing
+	// OpDedup is the exactly-once resend envelope; it never appears in a
+	// decoded Request's Op field (the envelope unwraps to the inner opcode
+	// plus the Dedup/ClientID/Seq fields).
+	OpDedup
 )
 
 func (o Op) String() string {
@@ -100,6 +114,8 @@ func (o Op) String() string {
 		return "STATS"
 	case OpPing:
 		return "PING"
+	case OpDedup:
+		return "DEDUP"
 	}
 	return fmt.Sprintf("Op(%d)", byte(o))
 }
@@ -119,6 +135,9 @@ const (
 	StatusErr
 	// StatusUnavailable: the server is draining and refused the request.
 	StatusUnavailable
+	// StatusBusy: the server shed the request under overload (max in-flight
+	// exceeded) without executing it; the client may retry after backing off.
+	StatusBusy
 )
 
 func (s Status) String() string {
@@ -133,6 +152,8 @@ func (s Status) String() string {
 		return "ERR"
 	case StatusUnavailable:
 		return "UNAVAILABLE"
+	case StatusBusy:
+		return "BUSY"
 	}
 	return fmt.Sprintf("Status(%d)", byte(s))
 }
@@ -170,6 +191,13 @@ type Request struct {
 	Cmd Cmd
 	// Batch holds the sub-commands of a MULTI.
 	Batch []Cmd
+	// Dedup marks a request wrapped in the exactly-once resend envelope;
+	// ClientID and Seq identify the logical write so the server can answer a
+	// resend without applying it twice. Op is the inner opcode (PUT/DEL/CAS/
+	// MULTI only).
+	Dedup    bool
+	ClientID uint64
+	Seq      uint64
 }
 
 // Result is the outcome of one command.
@@ -310,9 +338,21 @@ func appendCmdBody(dst []byte, c *Cmd) ([]byte, error) {
 	}
 }
 
-// AppendRequest appends req's payload encoding to dst.
+// AppendRequest appends req's payload encoding to dst. When req.Dedup is
+// set, the command is wrapped in the exactly-once resend envelope (req.Op
+// must be a write opcode: PUT/DEL/CAS/MULTI).
 func AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint32(dst, req.ID)
+	if req.Dedup {
+		switch req.Op {
+		case OpPut, OpDel, OpCAS, OpMulti:
+		default:
+			return nil, fmt.Errorf("%w: %v inside DEDUP", ErrBadOp, req.Op)
+		}
+		dst = append(dst, byte(OpDedup))
+		dst = appendUvarint(dst, req.ClientID)
+		dst = appendUvarint(dst, req.Seq)
+	}
 	dst = append(dst, byte(req.Op))
 	switch req.Op {
 	case OpGet, OpPut, OpDel, OpCAS:
@@ -472,6 +512,31 @@ func DecodeRequestInto(req *Request, payload []byte) error {
 	}
 	req.ID = id
 	req.Op = Op(op)
+	if req.Op == OpDedup {
+		cid, err := r.uvarint(^uint64(0))
+		if err != nil {
+			return err
+		}
+		seq, err := r.uvarint(^uint64(0))
+		if err != nil {
+			return err
+		}
+		inner, err := r.byte()
+		if err != nil {
+			return err
+		}
+		switch Op(inner) {
+		case OpPut, OpDel, OpCAS, OpMulti:
+		default:
+			// Reads gain nothing from the envelope and nesting is
+			// meaningless; both are protocol errors.
+			return fmt.Errorf("%w: %v inside DEDUP", ErrBadOp, Op(inner))
+		}
+		req.Dedup = true
+		req.ClientID = cid
+		req.Seq = seq
+		req.Op = Op(inner)
+	}
 	switch req.Op {
 	case OpGet, OpPut, OpDel, OpCAS:
 		if err := decodeCmdBodyInto(&r, req.Op, &req.Cmd); err != nil {
@@ -638,6 +703,9 @@ func AcquireRequest() *Request { return requestPool.Get().(*Request) }
 func ReleaseRequest(req *Request) {
 	req.ID = 0
 	req.Op = 0
+	req.Dedup = false
+	req.ClientID = 0
+	req.Seq = 0
 	resetCmd(&req.Cmd)
 	if cap(req.Batch) > maxRetainedBatch {
 		req.Batch = nil
@@ -736,7 +804,18 @@ type ServerStats struct {
 	MultiBatches  int64 `json:"multi_batches"`
 	FutureFanouts int64 `json:"future_fanouts"`
 	BadFrames     int64 `json:"bad_frames"`
-	Draining      bool  `json:"draining"`
+	// MaxInFlight echoes the overload-shedding admission bound (0 =
+	// unlimited); InFlight is the current admitted-but-unanswered request
+	// count and Shed counts requests refused with StatusBusy.
+	MaxInFlight int   `json:"max_in_flight"`
+	InFlight    int64 `json:"in_flight"`
+	Shed        int64 `json:"shed"`
+	// DedupHits counts retried writes answered from the exactly-once table
+	// instead of being re-applied.
+	DedupHits int64 `json:"dedup_hits"`
+	// IdleReaped counts connections closed by the idle read deadline.
+	IdleReaped int64 `json:"idle_reaped"`
+	Draining   bool  `json:"draining"`
 }
 
 // WALStats is the durability section of STATS, present when the server runs

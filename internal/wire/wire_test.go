@@ -68,6 +68,58 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDedupRoundTrip covers the exactly-once resend envelope: every write
+// opcode survives the wrap with its ClientID/Seq intact, and the decoded
+// request carries the inner opcode in Op.
+func TestDedupRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Op: OpPut, Cmd: Put("k", []byte("v")), Dedup: true, ClientID: 42, Seq: 7},
+		{ID: 2, Op: OpDel, Cmd: Del("k"), Dedup: true, ClientID: 1, Seq: 0},
+		{ID: 3, Op: OpCAS, Cmd: CAS("k", []byte("old"), []byte("new")), Dedup: true, ClientID: ^uint64(0), Seq: ^uint64(0)},
+		{ID: 4, Op: OpMulti, Batch: []Cmd{Put("a", []byte("1")), CAS("b", nil, []byte("2"))},
+			Dedup: true, ClientID: 9, Seq: 1 << 40},
+	}
+	for _, req := range reqs {
+		got := roundTripRequest(t, req)
+		if got.ID != req.ID || got.Op != req.Op {
+			t.Fatalf("dedup round trip header: got %+v, want %+v", got, req)
+		}
+		if !got.Dedup || got.ClientID != req.ClientID || got.Seq != req.Seq {
+			t.Fatalf("dedup round trip envelope: got dedup=%v client=%d seq=%d, want %d/%d",
+				got.Dedup, got.ClientID, got.Seq, req.ClientID, req.Seq)
+		}
+		if !cmdEqual(got.Cmd, req.Cmd) || len(got.Batch) != len(req.Batch) {
+			t.Fatalf("dedup round trip body: got %+v, want %+v", got, req)
+		}
+	}
+}
+
+// TestDedupEncodeRejectsReads: only writes may take the envelope — a read
+// gains nothing from exactly-once resend and must be refused at encode time.
+func TestDedupEncodeRejectsReads(t *testing.T) {
+	for _, op := range []Op{OpGet, OpStats, OpPing, OpDedup, 0} {
+		req := Request{ID: 1, Op: op, Cmd: Get("k"), Dedup: true, ClientID: 1, Seq: 1}
+		if _, err := AppendRequest(nil, &req); !errors.Is(err, ErrBadOp) {
+			t.Errorf("dedup of %v: err = %v, want ErrBadOp", op, err)
+		}
+	}
+}
+
+func TestStatusAndOpStrings(t *testing.T) {
+	if got := StatusBusy.String(); got != "BUSY" {
+		t.Fatalf("StatusBusy.String() = %q", got)
+	}
+	if got := OpDedup.String(); got != "DEDUP" {
+		t.Fatalf("OpDedup.String() = %q", got)
+	}
+	if got := Status(200).String(); got != "Status(200)" {
+		t.Fatalf("unknown status String() = %q", got)
+	}
+	if got := Op(200).String(); got != "Op(200)" {
+		t.Fatalf("unknown op String() = %q", got)
+	}
+}
+
 // cmdEqual compares commands, treating nil and empty byte slices as equal
 // except for the CAS expect-absent marker, which is carried by ExpectPresent.
 func cmdEqual(a, b Cmd) bool {
@@ -129,21 +181,46 @@ func TestEncodeLimits(t *testing.T) {
 }
 
 func TestDecodeMalformed(t *testing.T) {
-	cases := map[string][]byte{
-		"empty":          {},
-		"short header":   {0, 0, 0},
-		"no op":          {0, 0, 0, 1},
-		"bad op":         {0, 0, 0, 1, 0xFF},
-		"truncated key":  {0, 0, 0, 1, byte(OpGet), 10, 'a'},
-		"huge key len":   append([]byte{0, 0, 0, 1, byte(OpGet)}, binary.AppendUvarint(nil, 1<<40)...),
-		"trailing bytes": {0, 0, 0, 1, byte(OpPing), 1, 2, 3},
-		"bad cas flag":   {0, 0, 0, 1, byte(OpCAS), 1, 'k', 7, 0},
-		"multi huge n":   append([]byte{0, 0, 0, 1, byte(OpMulti)}, binary.AppendUvarint(nil, 1<<40)...),
-		"multi trunc":    {0, 0, 0, 1, byte(OpMulti), 2, byte(OpGet), 1, 'a'},
+	// wantErr nil means "any error"; otherwise the decode error must wrap it.
+	cases := []struct {
+		name    string
+		payload []byte
+		wantErr error
+	}{
+		{"empty", []byte{}, ErrTruncated},
+		{"short header", []byte{0, 0, 0}, ErrTruncated},
+		{"no op", []byte{0, 0, 0, 1}, ErrTruncated},
+		{"bad op 0xFF", []byte{0, 0, 0, 1, 0xFF}, ErrBadOp},
+		{"bad op zero", []byte{0, 0, 0, 1, 0}, ErrBadOp},
+		{"bad op past DEDUP", []byte{0, 0, 0, 1, byte(OpDedup) + 1}, ErrBadOp},
+		{"truncated key", []byte{0, 0, 0, 1, byte(OpGet), 10, 'a'}, ErrTruncated},
+		{"huge key len", append([]byte{0, 0, 0, 1, byte(OpGet)}, binary.AppendUvarint(nil, 1<<40)...), ErrLimit},
+		{"oversized key len", append([]byte{0, 0, 0, 1, byte(OpGet)}, binary.AppendUvarint(nil, MaxKeyLen+1)...), ErrLimit},
+		{"oversized val len", append([]byte{0, 0, 0, 1, byte(OpPut), 1, 'k'}, binary.AppendUvarint(nil, MaxValLen+1)...), ErrLimit},
+		{"truncated val", []byte{0, 0, 0, 1, byte(OpPut), 1, 'k', 5, 'v'}, ErrTruncated},
+		{"trailing bytes", []byte{0, 0, 0, 1, byte(OpPing), 1, 2, 3}, nil},
+		{"bad cas flag", []byte{0, 0, 0, 1, byte(OpCAS), 1, 'k', 7, 0}, nil},
+		{"multi huge n", append([]byte{0, 0, 0, 1, byte(OpMulti)}, binary.AppendUvarint(nil, 1<<40)...), ErrLimit},
+		{"multi over limit n", append([]byte{0, 0, 0, 1, byte(OpMulti)}, binary.AppendUvarint(nil, MaxMultiOps+1)...), ErrLimit},
+		{"multi trunc sub header", []byte{0, 0, 0, 1, byte(OpMulti), 2, byte(OpGet), 1, 'a'}, ErrTruncated},
+		{"multi trunc sub body", []byte{0, 0, 0, 1, byte(OpMulti), 1, byte(OpPut), 1, 'k', 9, 'v'}, ErrTruncated},
+		{"multi bad sub op", []byte{0, 0, 0, 1, byte(OpMulti), 1, byte(OpStats), 1, 'k'}, ErrBadOp},
+		{"multi nested multi", []byte{0, 0, 0, 1, byte(OpMulti), 1, byte(OpMulti), 0}, ErrBadOp},
+		{"dedup no ids", []byte{0, 0, 0, 1, byte(OpDedup)}, ErrTruncated},
+		{"dedup no inner op", []byte{0, 0, 0, 1, byte(OpDedup), 1, 1}, ErrTruncated},
+		{"dedup of GET", []byte{0, 0, 0, 1, byte(OpDedup), 1, 1, byte(OpGet), 1, 'k'}, ErrBadOp},
+		{"dedup of PING", []byte{0, 0, 0, 1, byte(OpDedup), 1, 1, byte(OpPing)}, ErrBadOp},
+		{"dedup nested", []byte{0, 0, 0, 1, byte(OpDedup), 1, 1, byte(OpDedup), 1, 1, byte(OpPut), 1, 'k', 0}, ErrBadOp},
+		{"dedup trunc body", []byte{0, 0, 0, 1, byte(OpDedup), 1, 1, byte(OpPut), 1, 'k'}, ErrTruncated},
 	}
-	for name, payload := range cases {
-		if _, err := DecodeRequest(payload); err == nil {
-			t.Errorf("%s: DecodeRequest accepted %x", name, payload)
+	for _, tc := range cases {
+		_, err := DecodeRequest(tc.payload)
+		if err == nil {
+			t.Errorf("%s: DecodeRequest accepted %x", tc.name, tc.payload)
+			continue
+		}
+		if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.wantErr)
 		}
 	}
 	respCases := map[string][]byte{

@@ -47,6 +47,15 @@ check_cover ./internal/persist/ 75
 echo "== tier-1.5: recovery smoke (real wtfd binary: serve, kill -9, recover) =="
 go test -run TestRecoverySmoke -count=1 ./cmd/wtfd/
 
+echo "== tier-1.5: chaos smoke under race (fixed seed, wall-clock budget) =="
+# Fixed-seed slice of the chaos conformance sweep: fault-injected transports
+# against a durable server, lost-ack oracle on the recovered state. The full
+# sweep (8 seeds x 4 scenarios x 2 fsync policies, plus the kill -9 crash
+# rows in cmd/wtfd) runs via go test ./...; this gate pins the reset and
+# partition rows under the race detector with a hard wall-clock budget so a
+# livelocked retry loop fails fast instead of hanging CI.
+go test -race -run TestChaosSweepSmoke -count=1 -timeout 120s ./internal/chaos/
+
 echo "== tier-1.5: wtfconform smoke (fixed seeds, clean engine: expect 0 violations) =="
 go run ./cmd/wtfconform -mode dfs -seed 1 -seeds 8 -budget 300
 
