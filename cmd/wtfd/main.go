@@ -7,7 +7,7 @@
 //
 //	wtfd [-listen addr] [-shards n] [-buckets n] [-executors n]
 //	     [-group-limit n] [-flush-window d] [-writer-queue n]
-//	     [-idle-timeout d] [-max-inflight n]
+//	     [-idle-timeout d] [-max-inflight n] [-fast-reads=true|false]
 //	     [-ordering wo|so] [-atomicity lac|gac] [-stats interval]
 //	     [-data-dir dir] [-fsync always|group|off] [-commit-delay d]
 //	     [-snapshot-every n] [-segment-bytes n] [-pprof addr]
@@ -32,6 +32,12 @@
 // -snapshot-every, -segment-bytes) are rejected without -data-dir: silently
 // ignoring them would let an operator believe a memory-only daemon was
 // fsyncing.
+//
+// -fast-reads (default on) serves single-key GETs lock-free from the
+// connection read loop — no executor hop, no transaction — with a
+// per-connection watermark preserving read-your-writes and monotonic reads
+// (DESIGN.md §13); -fast-reads=false routes every GET through its shard's
+// executor like any other command.
 //
 // -executors sizes the shard-affine executor pool (each executor owns a
 // subset of shards and serializes their single-key requests); -group-limit
@@ -88,6 +94,7 @@ func parseArgs(args []string) (server.Config, runOpts, error) {
 		writerQueue = fs.Int("writer-queue", 0, "per-connection response queue depth (0 = default 64)")
 		idleTimeout = fs.Duration("idle-timeout", 0, "reap connections silent this long (0 = default 2m, negative = never)")
 		maxInFlight = fs.Int("max-inflight", 0, "shed store requests with BUSY beyond this many in flight (0 = default 4096, negative = unbounded)")
+		fastReads   = fs.Bool("fast-reads", true, "serve single-key GETs lock-free from the connection read loop (false = route every GET through its shard's executor)")
 		ordering    = fs.String("ordering", "wo", "futures ordering semantics: wo|so")
 		atomicity   = fs.String("atomicity", "lac", "escaping-future atomicity: lac|gac")
 		stats       = fs.Duration("stats", 0, "print counter snapshots at this interval (0 = off)")
@@ -134,18 +141,19 @@ func parseArgs(args []string) (server.Config, runOpts, error) {
 	}
 
 	cfg := server.Config{
-		Shards:        *shards,
-		Buckets:       *buckets,
-		Executors:     *executors,
-		GroupLimit:    *groupLimit,
-		FlushWindow:   *flushWindow,
-		WriterQueue:   *writerQueue,
-		IdleTimeout:   *idleTimeout,
-		MaxInFlight:   *maxInFlight,
-		DataDir:       *dataDir,
-		CommitDelay:   *commitDelay,
-		SnapshotEvery: *snapEvery,
-		SegmentBytes:  *segBytes,
+		Shards:           *shards,
+		Buckets:          *buckets,
+		Executors:        *executors,
+		GroupLimit:       *groupLimit,
+		FlushWindow:      *flushWindow,
+		WriterQueue:      *writerQueue,
+		IdleTimeout:      *idleTimeout,
+		MaxInFlight:      *maxInFlight,
+		DisableFastReads: !*fastReads,
+		DataDir:          *dataDir,
+		CommitDelay:      *commitDelay,
+		SnapshotEvery:    *snapEvery,
+		SegmentBytes:     *segBytes,
 	}
 	pol, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {

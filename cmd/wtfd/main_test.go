@@ -32,6 +32,18 @@ func TestParseArgs(t *testing.T) {
 				if got.cfg.Fsync != wal.SyncGroup {
 					t.Errorf("default fsync = %v", got.cfg.Fsync)
 				}
+				if got.cfg.DisableFastReads {
+					t.Error("fast reads disabled by default")
+				}
+			},
+		},
+		{
+			name: "fast reads opt-out",
+			args: []string{"-fast-reads=false"},
+			check: func(t *testing.T, got parsed) {
+				if !got.cfg.DisableFastReads {
+					t.Error("-fast-reads=false did not set DisableFastReads")
+				}
 			},
 		},
 		{

@@ -132,6 +132,61 @@ func TestChaosConformanceSweep(t *testing.T) {
 	}
 }
 
+// TestChaosFastReadConformance pins the read fast path's interaction with
+// faults and durability: lock-free read-loop GETs interleaved with
+// group-committed durable writes, through an injected-fault transport with
+// retrying clients, must still tell each session one monotonic,
+// read-your-writes story — the workload oracle's per-key monotonic check
+// judges exactly that. The STATS assertion closes the loophole of passing
+// by never taking the fast path: the sweep must have actually served reads
+// from the connection loop, not quietly routed everything to executors.
+func TestChaosFastReadConformance(t *testing.T) {
+	for _, scenario := range []string{"reset", "slow-client"} {
+		t.Run(scenario, func(t *testing.T) {
+			plan, err := Scenario(scenario, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := startDurableServer(t, wal.SyncGroup)
+			rep, err := RunWorkload(WorkloadConfig{
+				Addr:    s.Addr().String(),
+				Dial:    NewInjector(plan).Dialer(),
+				Workers: 3,
+				Ops:     60,
+				Seed:    0x9e3779b97f4a7c15,
+				Retry: client.RetryPolicy{
+					MaxAttempts: 10,
+					BaseBackoff: 2 * time.Millisecond,
+					MaxBackoff:  20 * time.Millisecond,
+				},
+				OpTimeout: 2 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("workload: %v", err)
+			}
+			if rep.Failed() {
+				t.Fatalf("oracle violations with fast reads under %s: %v", scenario, rep.Violations)
+			}
+			if rep.Acked == 0 {
+				t.Fatal("nothing acked: the schedule starved the workload")
+			}
+
+			clean := client.New(client.Options{Addr: s.Addr().String(), Conns: 1})
+			defer clean.Close()
+			stats, err := clean.Stats()
+			if err != nil {
+				t.Fatalf("stats: %v", err)
+			}
+			if !stats.Server.FastReadsEnabled {
+				t.Fatal("FastReadsEnabled = false: conformance ran against the wrong configuration")
+			}
+			if stats.Server.FastReads == 0 {
+				t.Fatal("FastReads = 0: every GET fell back to the executor path, fast path untested")
+			}
+		})
+	}
+}
+
 // TestChaosReplay re-runs one schedule named by the WTFD_CHAOS_* env vars
 // (printed by a failing sweep). Without them it is a no-op.
 func TestChaosReplay(t *testing.T) {

@@ -6,9 +6,13 @@
 //
 // The pipelined hot path is engineered to stay off shared state: the
 // pending-call table is sharded by request ID (pipelined callers rarely
-// touch the same shard's mutex), and request objects, response channels and
-// encode buffers are pooled, so a steady-state call allocates only what the
-// response decode itself requires.
+// touch the same shard's mutex), and request objects, response objects,
+// response channels and encode buffers are all pooled — responses are
+// decoded in place into pooled *wire.Response scratch (DecodeResponseInto)
+// and recycled once the typed helper has extracted its result, so a
+// steady-state GET round-trip allocates nothing on the client
+// (BenchmarkClientGetRoundTrip gates this; GetBytes is the allocation-free
+// variant, Get still materializes its string return).
 //
 // A connection that fails is redialed transparently on its next use: calls
 // in flight on the broken connection return the transport error, later
@@ -177,7 +181,7 @@ const pendShards = 16
 // pendShard is one shard of the pending-call table.
 type pendShard struct {
 	mu sync.Mutex
-	m  map[uint32]chan wire.Response
+	m  map[uint32]chan *wire.Response
 }
 
 // conn is one live TCP connection with a reader goroutine dispatching
@@ -198,7 +202,9 @@ type conn struct {
 // respChanPool recycles the single-slot channels callers wait on. Channels
 // closed by the failure path (close delivers the error to every waiter) are
 // never returned to the pool; only channels that delivered a response are.
-var respChanPool = sync.Pool{New: func() any { return make(chan wire.Response, 1) }}
+// The *wire.Response riding the channel is pooled separately: the read loop
+// acquires it, the caller releases it after extracting the result.
+var respChanPool = sync.Pool{New: func() any { return make(chan *wire.Response, 1) }}
 
 // encBufPool recycles request-encoding buffers across calls.
 var encBufPool = sync.Pool{New: func() any { return new([]byte) }}
@@ -264,7 +270,7 @@ func (cl *Client) acquire(ctx context.Context) (*conn, error) {
 	}
 	c := &conn{nc: nc, bw: bufio.NewWriter(nc)}
 	for i := range c.pend {
-		c.pend[i].m = make(map[uint32]chan wire.Response)
+		c.pend[i].m = make(map[uint32]chan *wire.Response)
 	}
 	go c.readLoop()
 	s.c = c
@@ -311,8 +317,9 @@ func (c *conn) readLoop() {
 			return
 		}
 		buf = wire.RecycleFrameBuf(payload)
-		resp, err := wire.DecodeResponse(payload)
-		if err != nil {
+		resp := wire.AcquireResponse()
+		if err := wire.DecodeResponseInto(resp, payload); err != nil {
+			wire.ReleaseResponse(resp)
 			c.fail(fmt.Errorf("client: protocol error: %w", err))
 			return
 		}
@@ -323,14 +330,19 @@ func (c *conn) readLoop() {
 		sh.mu.Unlock()
 		if ch != nil {
 			ch <- resp
+		} else {
+			// The waiter abandoned the call (context ended); recycle.
+			wire.ReleaseResponse(resp)
 		}
 	}
 }
 
 // roundTrip sends req (assigning its ID) and waits for the matching
-// response, or for ctx to end.
-func (c *conn) roundTrip(ctx context.Context, req *wire.Request) (wire.Response, error) {
-	ch := respChanPool.Get().(chan wire.Response)
+// response, or for ctx to end. The returned response is a pooled object the
+// read loop decoded into: the caller owns it and must ReleaseResponse it
+// after extracting what it needs (nothing reachable from it may be retained).
+func (c *conn) roundTrip(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	ch := respChanPool.Get().(chan *wire.Response)
 	id := c.idSeq.Add(1)
 	req.ID = id
 	sh := &c.pend[id%pendShards]
@@ -342,7 +354,7 @@ func (c *conn) roundTrip(ctx context.Context, req *wire.Request) (wire.Response,
 		if err == nil {
 			err = errors.New("client: connection closed")
 		}
-		return wire.Response{}, err
+		return nil, err
 	}
 	sh.m[id] = ch
 	sh.mu.Unlock()
@@ -357,7 +369,7 @@ func (c *conn) roundTrip(ctx context.Context, req *wire.Request) (wire.Response,
 		}
 		sh.mu.Unlock()
 		respChanPool.Put(ch)
-		return wire.Response{}, err
+		return nil, err
 	}
 	c.wmu.Lock()
 	werr := wire.WriteFrame(c.bw, payload)
@@ -379,7 +391,7 @@ func (c *conn) roundTrip(ctx context.Context, req *wire.Request) (wire.Response,
 			if err == nil {
 				err = errors.New("client: connection closed")
 			}
-			return wire.Response{}, err
+			return nil, err
 		}
 		respChanPool.Put(ch)
 		return resp, nil
@@ -387,13 +399,14 @@ func (c *conn) roundTrip(ctx context.Context, req *wire.Request) (wire.Response,
 		// Abandon the wait. Deregister so the read loop stops tracking the
 		// ID, but never return ch to the pool: the read loop may have
 		// already fetched it and be about to send (the buffered slot absorbs
-		// that send; the channel is then garbage).
+		// that send; the channel — and any response it carries — is then
+		// garbage, collected normally).
 		sh.mu.Lock()
 		if sh.m != nil {
 			delete(sh.m, id)
 		}
 		sh.mu.Unlock()
-		return wire.Response{}, ctx.Err()
+		return nil, ctx.Err()
 	}
 }
 
@@ -408,8 +421,9 @@ func retriableStatus(st wire.Status) bool {
 // whose blind resend cannot double-apply (reads, PUT/DEL, PING/STATS — and
 // any dedup-enveloped write, where the server's exactly-once table absorbs
 // the duplicate). A transport error on a non-resend-safe op surfaces
-// immediately: the first send may have applied.
-func (cl *Client) do(ctx context.Context, req *wire.Request, resendSafe bool) (wire.Response, error) {
+// immediately: the first send may have applied. The returned response is
+// pooled: the caller must ReleaseResponse it after consuming the result.
+func (cl *Client) do(ctx context.Context, req *wire.Request, resendSafe bool) (*wire.Response, error) {
 	attempts := cl.opts.Retry.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -418,41 +432,44 @@ func (cl *Client) do(ctx context.Context, req *wire.Request, resendSafe bool) (w
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr != nil {
-				return wire.Response{}, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
+				return nil, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
 			}
-			return wire.Response{}, err
+			return nil, err
 		}
 		c, err := cl.acquire(ctx)
 		if err == nil {
-			var resp wire.Response
+			var resp *wire.Response
 			resp, err = c.roundTrip(ctx, req)
 			switch {
 			case err == nil && retriableStatus(resp.Result.Status) && attempt < attempts:
-				// Refused without execution; any op may retry.
+				// Refused without execution; any op may retry. statusErr
+				// copies the message out, so the response can be recycled
+				// before the backoff sleep.
 				cl.busyRetries.Add(1)
 				lastErr = statusErr(&resp.Result)
+				wire.ReleaseResponse(resp)
 				if serr := cl.sleepBackoff(ctx, attempt); serr != nil {
-					return wire.Response{}, fmt.Errorf("%w (last attempt: %w)", serr, lastErr)
+					return nil, fmt.Errorf("%w (last attempt: %w)", serr, lastErr)
 				}
 				continue
 			case err == nil:
 				return resp, nil
 			case errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-				return wire.Response{}, err
+				return nil, err
 			case !resendSafe && !req.Dedup:
 				// The send may have applied and the ack is lost; a blind
 				// resend could double-apply. The caller must decide.
-				return wire.Response{}, err
+				return nil, err
 			}
 		}
 		// Transport or dial failure on a resend-safe (or enveloped) op.
 		if attempt >= attempts {
-			return wire.Response{}, err
+			return nil, err
 		}
 		cl.retries.Add(1)
 		lastErr = err
 		if serr := cl.sleepBackoff(ctx, attempt); serr != nil {
-			return wire.Response{}, fmt.Errorf("%w (last attempt: %w)", serr, lastErr)
+			return nil, fmt.Errorf("%w (last attempt: %w)", serr, lastErr)
 		}
 	}
 }
@@ -482,8 +499,9 @@ func (cl *Client) envelope(req *wire.Request) {
 	req.Seq = cl.seq.Add(1)
 }
 
-// callCmd round-trips a pooled single-command request.
-func (cl *Client) callCmd(ctx context.Context, op wire.Op, cmd wire.Cmd, resendSafe bool) (wire.Response, error) {
+// callCmd round-trips a pooled single-command request. The returned
+// response is pooled; the caller releases it after extracting its result.
+func (cl *Client) callCmd(ctx context.Context, op wire.Op, cmd wire.Cmd, resendSafe bool) (*wire.Response, error) {
 	req := wire.AcquireRequest()
 	req.Op = op
 	req.Cmd = cmd
@@ -514,6 +532,7 @@ func (cl *Client) PingCtx(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	defer wire.ReleaseResponse(resp)
 	if resp.Result.Status != wire.StatusOK {
 		return statusErr(&resp.Result)
 	}
@@ -531,6 +550,7 @@ func (cl *Client) GetCtx(ctx context.Context, key string) (string, bool, error) 
 	if err != nil {
 		return "", false, err
 	}
+	defer wire.ReleaseResponse(resp)
 	switch resp.Result.Status {
 	case wire.StatusOK:
 		return string(resp.Result.Val), true, nil
@@ -538,6 +558,32 @@ func (cl *Client) GetCtx(ctx context.Context, key string) (string, bool, error) 
 		return "", false, nil
 	default:
 		return "", false, statusErr(&resp.Result)
+	}
+}
+
+// GetBytes is the allocation-free Get: the value is appended to dst (grown
+// if needed) and the extended slice returned, so a caller reusing dst across
+// calls completes a whole GET round-trip with zero heap allocations — the
+// shape BenchmarkClientGetRoundTrip gates. found reports presence; on a miss
+// or error dst is returned unchanged.
+func (cl *Client) GetBytes(key string, dst []byte) (val []byte, found bool, err error) {
+	return cl.GetBytesCtx(context.Background(), key, dst)
+}
+
+// GetBytesCtx is GetBytes bounded by ctx.
+func (cl *Client) GetBytesCtx(ctx context.Context, key string, dst []byte) (val []byte, found bool, err error) {
+	resp, err := cl.callCmd(ctx, wire.OpGet, wire.Get(key), true)
+	if err != nil {
+		return dst, false, err
+	}
+	defer wire.ReleaseResponse(resp)
+	switch resp.Result.Status {
+	case wire.StatusOK:
+		return append(dst, resp.Result.Val...), true, nil
+	case wire.StatusNotFound:
+		return dst, false, nil
+	default:
+		return dst, false, statusErr(&resp.Result)
 	}
 }
 
@@ -554,6 +600,7 @@ func (cl *Client) PutCtx(ctx context.Context, key, val string) error {
 	if err != nil {
 		return err
 	}
+	defer wire.ReleaseResponse(resp)
 	if resp.Result.Status != wire.StatusOK {
 		return statusErr(&resp.Result)
 	}
@@ -572,6 +619,7 @@ func (cl *Client) DelCtx(ctx context.Context, key string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	defer wire.ReleaseResponse(resp)
 	switch resp.Result.Status {
 	case wire.StatusOK:
 		return true, nil
@@ -599,12 +647,15 @@ func (cl *Client) CASCtx(ctx context.Context, key string, expect []byte, val str
 	if err != nil {
 		return false, nil, err
 	}
+	defer wire.ReleaseResponse(resp)
 	switch resp.Result.Status {
 	case wire.StatusOK:
 		return true, nil, nil
 	case wire.StatusCASMismatch:
 		if resp.Result.HasVal {
-			return false, resp.Result.Val, nil
+			// Clone: the result value lives in the pooled response's scratch
+			// buffer, which is recycled on release.
+			return false, append([]byte(nil), resp.Result.Val...), nil
 		}
 		return false, nil, nil
 	default:
@@ -634,11 +685,16 @@ func (cl *Client) MultiCtx(ctx context.Context, cmds []wire.Cmd) (results []wire
 	if err != nil {
 		return nil, false, err
 	}
+	defer wire.ReleaseResponse(resp)
 	switch resp.Result.Status {
-	case wire.StatusOK:
-		return resp.Batch, true, nil
-	case wire.StatusCASMismatch:
-		return resp.Batch, false, nil
+	case wire.StatusOK, wire.StatusCASMismatch:
+		// Detach the batch before release: it is handed to the caller, so
+		// the pooled response must not keep (and later reuse) its storage.
+		// The per-result values are already private clones (the decoder
+		// copies MULTI values individually for exactly this reason).
+		results = resp.Batch
+		resp.Batch = nil
+		return results, resp.Result.Status == wire.StatusOK, nil
 	default:
 		return nil, false, statusErr(&resp.Result)
 	}
@@ -655,6 +711,7 @@ func (cl *Client) StatsCtx(ctx context.Context) (*wire.StatsReply, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer wire.ReleaseResponse(resp)
 	if resp.Result.Status != wire.StatusOK {
 		return nil, statusErr(&resp.Result)
 	}

@@ -1,0 +1,72 @@
+package mvstm
+
+// Transaction-free reads.
+//
+// ReadLatest serves a single-box read at the current commit clock without a
+// Txn, without registering an active snapshot, and without any store-side
+// synchronization beyond the atomic loads the version chain already uses.
+// It is the substrate of the server's GET fast path (DESIGN.md §13).
+//
+// Correctness leans entirely on the commit pipeline's publish order
+// (commit.go): complete(r) installs every version of ticket r and trims the
+// chains BEFORE publishing clock = r.ticket, and completion runs in strict
+// ticket order. Two consequences:
+//
+//  1. clock = c implies every ticket <= c is fully written back, so the
+//     newest version with TS <= c on any box is a consistent snapshot-c
+//     read — identical to what a Txn beginning now would observe.
+//  2. A trim with horizon h only runs while clock >= h (the trimming
+//     request's predecessors published first, and h <= ticket-1). So if a
+//     reader falls off a trimmed tail while hunting for TS <= snap, the
+//     clock has necessarily advanced past its stale snap: reloading the
+//     clock and retrying always terminates at a visible version, absent a
+//     continuous stream of concurrent trims.
+//
+// Because ReadLatest never registers in activeShards, it can never delay a
+// writer, a commit, or version GC — the retry loop absorbs the cost of that
+// freedom. Retries are bounded so a pathological trim storm degrades to the
+// caller's fallback path (a regular transaction) instead of spinning.
+
+// ReadLatestRetries is how many clock-reload attempts ReadLatest makes
+// before giving up and reporting !ok. Each retry only happens when a
+// concurrent trim cut the chain under the reader, which requires a commit
+// to have advanced the clock in the meantime — more than one retry is
+// already rare, four in a row means the box is being rewritten faster than
+// it can be read and the caller should fall back to a real transaction.
+const ReadLatestRetries = 4
+
+// ReadLatest returns the value of b at the current commit clock without a
+// transaction. retries reports how many times a concurrent version-chain
+// trim forced a clock reload; ok is false when the retry budget was
+// exhausted (the caller must then fall back to a transactional read).
+//
+// The read is linearizable per box (it observes the newest published
+// version) and, across boxes, consistent at the clock value loaded on the
+// successful attempt: monotonic clock publishes mean two ReadLatest calls
+// ordered by real time never observe clock values out of order.
+func (s *STM) ReadLatest(b *VBox) (v any, retries int, ok bool) {
+	for attempt := 0; attempt <= ReadLatestRetries; attempt++ {
+		snap := s.clock.Load()
+		ver := b.head.Load()
+		// Fast path: the head itself is visible at snap. This is the common
+		// case — the box's newest version was published at or before the
+		// clock value we just loaded.
+		if ver != nil && ver.TS <= snap {
+			return ver.Value, attempt, true
+		}
+		// The head is a freshly-installed version whose ticket has not been
+		// published yet (or the clock load raced an install). Walk down for
+		// the newest version with TS <= snap.
+		for ver != nil && ver.TS > snap {
+			ver = ver.Prev()
+		}
+		if ver != nil {
+			return ver.Value, attempt, true
+		}
+		// Fell off a trimmed tail: every remaining version was newer than
+		// snap and the older ones are gone. Per the pipeline's publish
+		// order the clock has already advanced past the trim horizon, so a
+		// reload makes progress.
+	}
+	return nil, ReadLatestRetries, false
+}

@@ -1,0 +1,177 @@
+package mvstm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestReadLatestInitial(t *testing.T) {
+	s := New()
+	b := s.NewBox("seed")
+	v, retries, ok := s.ReadLatest(b)
+	if !ok || retries != 0 || v != "seed" {
+		t.Fatalf("ReadLatest = (%v, %d, %v), want (seed, 0, true)", v, retries, ok)
+	}
+}
+
+func TestReadLatestSeesCommit(t *testing.T) {
+	s := New()
+	b := s.NewBox(0)
+	for i := 1; i <= 10; i++ {
+		if err := s.Atomic(func(tx *Txn) error { tx.Write(b, i); return nil }); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+		v, _, ok := s.ReadLatest(b)
+		if !ok || v != i {
+			t.Fatalf("after commit %d: ReadLatest = (%v, %v), want (%d, true)", i, v, ok, i)
+		}
+	}
+}
+
+// TestReadLatestSkipsUnpublishedHead pins the validation rule: a version
+// whose ticket is newer than the published clock must not be served. The
+// test forges the commit pipeline's intermediate state — version installed,
+// clock not yet advanced — directly on the chain.
+func TestReadLatestSkipsUnpublishedHead(t *testing.T) {
+	s := New()
+	b := s.NewBox("old")
+	if err := s.Atomic(func(tx *Txn) error { tx.Write(b, "published"); return nil }); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	// Install a version one ticket past the clock without publishing it,
+	// mimicking complete() between write-back and clock CAS.
+	ghost := &Version{Value: "unpublished", TS: s.Clock() + 1}
+	ghost.prev.Store(b.head.Load())
+	b.head.Store(ghost)
+
+	v, retries, ok := s.ReadLatest(b)
+	if !ok || v != "published" {
+		t.Fatalf("ReadLatest = (%v, %v), want (published, true)", v, ok)
+	}
+	if retries != 0 {
+		t.Fatalf("walking past an unpublished head must not count as a retry; got %d", retries)
+	}
+}
+
+// TestReadLatestTrimmedTailExhaustsBudget forges the one state ReadLatest
+// cannot resolve — a chain whose every version is newer than the clock —
+// and checks the bounded-retry contract: !ok after ReadLatestRetries
+// reloads, never a panic (contrast VBox.ReadAt, which panics past the GC
+// horizon).
+func TestReadLatestTrimmedTailExhaustsBudget(t *testing.T) {
+	s := New()
+	b := s.NewBox("seed")
+	b.head.Store(&Version{Value: "future", TS: s.Clock() + 5})
+
+	v, retries, ok := s.ReadLatest(b)
+	if ok {
+		t.Fatalf("ReadLatest = (%v, ok) on an over-trimmed chain, want !ok", v)
+	}
+	if retries != ReadLatestRetries {
+		t.Fatalf("retries = %d, want the full budget %d", retries, ReadLatestRetries)
+	}
+}
+
+// TestReadLatestStress hammers ReadLatest against concurrent commits,
+// conflicting writers, and pin-driven version trims under -race. Each box
+// holds a strictly increasing int (read-modify-write increments), so any
+// reader observing a per-box decrease caught a torn or time-traveling
+// read. Short-lived pins hold the GC horizon back and then release it,
+// forcing trims to race the readers' chain walks.
+func TestReadLatestStress(t *testing.T) {
+	const (
+		boxes   = 8
+		writers = 4
+		readers = 4
+		rounds  = 400
+	)
+	s := New()
+	bs := make([]*VBox, boxes)
+	for i := range bs {
+		bs[i] = s.NewBox(0)
+	}
+
+	var stop atomic.Bool
+	var fallbacks atomic.Int64
+	var writerWg, readerWg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(seed uint64) {
+			defer writerWg.Done()
+			rng := seed*0x9E3779B97F4A7C15 + 1
+			for i := 0; i < rounds; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				b := bs[rng%boxes]
+				err := s.Atomic(func(tx *Txn) error {
+					tx.Write(b, tx.Read(b).(int)+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("writer commit: %v", err)
+					return
+				}
+			}
+		}(uint64(w) + 1)
+	}
+
+	// Pinner: repeatedly pin the current snapshot, hold it across a few
+	// commits, release. Every release lets the horizon jump forward, so
+	// the next commit trims a multi-version chain in one go — the exact
+	// race the retry loop exists for.
+	readerWg.Add(1)
+	go func() {
+		defer readerWg.Done()
+		for !stop.Load() {
+			tx := s.Begin()
+			release := tx.Pin()
+			tx.Discard()
+			release()
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		readerWg.Add(1)
+		go func() {
+			defer readerWg.Done()
+			last := make([]int, boxes)
+			for !stop.Load() {
+				for i, b := range bs {
+					v, _, ok := s.ReadLatest(b)
+					if !ok {
+						fallbacks.Add(1)
+						continue
+					}
+					n := v.(int)
+					if n < last[i] {
+						t.Errorf("box %d went backwards: %d -> %d", i, last[i], n)
+						return
+					}
+					last[i] = n
+				}
+			}
+		}()
+	}
+
+	// Writers finish first; then stop the readers and the pinner.
+	writerWg.Wait()
+	stop.Store(true)
+	readerWg.Wait()
+
+	// Quiescent reads must see exactly the final counts and never retry.
+	total := 0
+	for i, b := range bs {
+		v, retries, ok := s.ReadLatest(b)
+		if !ok || retries != 0 {
+			t.Fatalf("quiescent read of box %d: retries=%d ok=%v", i, retries, ok)
+		}
+		total += v.(int)
+	}
+	if want := writers * rounds; total != want {
+		t.Fatalf("sum of final box values = %d, want %d", total, want)
+	}
+	t.Logf("fallbacks during stress: %d", fallbacks.Load())
+}

@@ -91,6 +91,53 @@ func BenchmarkServerGetPath(b *testing.B) {
 	}
 }
 
+// BenchmarkServerFastGet measures the GET fast path's whole serving unit as
+// the read loop runs it per frame: raw-payload GET classification
+// (wire.DecodeGetKey — no pooled Request, no key string), shard hash and
+// lock-free ReadLatest over the key bytes, and the direct response encode
+// (wire.AppendGetResult — no Response object). This is the 0 allocs/op gate
+// scripts/ci.sh enforces: the fast path's entire point is that a read-heavy
+// workload generates no garbage, so a single alloc/op here is a regression.
+func BenchmarkServerFastGet(b *testing.B) {
+	s, err := New(Config{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Drain()
+	seedReq := wire.AcquireRequest()
+	seedResp := wire.AcquireResponse()
+	put, err := wire.AppendRequest(nil, &wire.Request{ID: 1, Op: wire.OpPut, Cmd: wire.Put("bench-key", []byte("fast-value"))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := wire.DecodeRequestInto(seedReq, put); err != nil {
+		b.Fatal(err)
+	}
+	s.execute(seedReq, seedResp)
+	wire.ReleaseRequest(seedReq)
+	wire.ReleaseResponse(seedResp)
+
+	get, err := wire.AppendRequest(nil, &wire.Request{ID: 2, Op: wire.OpGet, Cmd: wire.Get("bench-key")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scratch []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, key, ok := wire.DecodeGetKey(get)
+		if !ok {
+			b.Fatal("GET frame not classified as fast-servable")
+		}
+		sh := s.store.shardOfBytes(key)
+		val, found, _, rok := s.store.getFastBytes(sh, key)
+		if !rok {
+			b.Fatal("fast read fell back on an idle server")
+		}
+		scratch = wire.AppendGetResult(scratch[:0], id, val, found)
+	}
+}
+
 // BenchmarkServerE2EPipelined is the closed-loop loopback shape the wtfbench
 // server sweep measures: concurrent clients, one pipelined connection each,
 // single-key GET/PUT traffic. Useful with -cpuprofile to see where serving

@@ -97,7 +97,7 @@ func (d *durability) deferAck(sc *durScratch, group []task) bool {
 		}
 		wire.ReleaseRequest(t.req)
 		t.c.send(t.resp)
-		t.c.done()
+		t.c.retire(t.wshard)
 	}
 	b.shards = append(b.shards[:0], sc.appended...)
 	d.ackCh <- b
@@ -180,7 +180,7 @@ func (d *durability) ackLoop() {
 				}
 				wire.ReleaseRequest(t.req)
 				t.c.send(t.resp)
-				t.c.done()
+				t.c.retire(t.wshard)
 			}
 			clear(b.tasks)
 			b.tasks = b.tasks[:0]

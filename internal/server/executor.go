@@ -133,7 +133,7 @@ func (s *Server) executeTask(t task) {
 	s.execute(t.req, resp)
 	wire.ReleaseRequest(t.req)
 	t.c.send(resp)
-	t.c.done()
+	t.c.retire(t.wshard)
 }
 
 // executeGroup commits a group of single-key commands as one transaction.
@@ -216,6 +216,6 @@ func (s *Server) executeGroup(group []task) {
 	for i := range group {
 		wire.ReleaseRequest(group[i].req)
 		group[i].c.send(group[i].resp)
-		group[i].c.done()
+		group[i].c.retire(group[i].wshard)
 	}
 }

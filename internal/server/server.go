@@ -139,6 +139,13 @@ type Config struct {
 	// acquisition per transactional event and disables group commit; leave
 	// nil in production.
 	Recorder *wtftm.Recorder
+	// DisableFastReads turns the lock-free GET fast path off, routing every
+	// GET through its shard's executor like any other command (the pre-fast-
+	// path serving behaviour; see DESIGN.md §13). The fast path is also
+	// forced off when Recorder is set — fast reads bypass the engine, so
+	// recorded histories would be missing them — and under execHook (test
+	// instrumentation expects every request to reach an executor).
+	DisableFastReads bool
 
 	// execHook, when non-nil, runs at the start of every request execution.
 	// Tests use it to hold requests in flight while exercising Drain.
@@ -247,6 +254,14 @@ type Server struct {
 	shed          atomic.Int64
 	dedupHits     atomic.Int64
 	idleReaped    atomic.Int64
+
+	// fastOK gates the GET fast path (fastread.go); fixed at New from
+	// DisableFastReads, Recorder and execHook so the per-request check is
+	// one branch on a plain bool.
+	fastOK            bool
+	fastReads         atomic.Int64
+	fastReadRetries   atomic.Int64
+	fastReadFallbacks atomic.Int64
 }
 
 // task is one admitted request awaiting execution. resp is filled in by the
@@ -256,7 +271,18 @@ type task struct {
 	c    *conn
 	req  *wire.Request
 	resp *wire.Response
+	// wshard is the request's session-watermark classification (see
+	// fastread.go): the target shard of a single-key write, wshardAll for
+	// MULTI, wshardNone otherwise. Retiring the task lowers the matching
+	// watermark counter.
+	wshard int32
 }
+
+// connBufSize sizes each connection's read and write buffers. 32 KiB keeps
+// a whole pipelined burst (hundreds of small frames) to one read syscall
+// and one response flush; at two buffers per connection the memory cost
+// only matters far beyond the connection counts this server targets.
+const connBufSize = 32 << 10
 
 // conn is one accepted connection: a read loop (runs serveConn), a write
 // loop, and a count of requests admitted but not yet answered.
@@ -266,6 +292,36 @@ type conn struct {
 	out     chan *wire.Response
 	pending sync.WaitGroup
 	wfail   atomic.Bool // write failed; further responses are dropped
+
+	// wmu serializes frame writes to bw between the write loop (executor
+	// responses) and the read loop (fast-read responses written in place;
+	// see fastread.go). lastWDL caps write-deadline re-arming to once per
+	// WriteTimeout/4 — a per-frame SetWriteDeadline is a timer syscall on
+	// the hottest path for at worst a quarter-window of deadline slack.
+	wmu     sync.Mutex
+	bw      *bufio.Writer
+	lastWDL time.Time
+
+	// Fast-read state, owned by the read loop: the response encode scratch,
+	// whether bw holds fast responses not yet flushed (flushed when the read
+	// loop is about to block; see (*conn).flushFast), and the batched stats
+	// counters (served / ReadLatest retries / fallbacks) published by
+	// flushFastStats.
+	fastScratch   []byte
+	fastPend      bool
+	wheld         bool // read loop holds wmu across a fast-read burst
+	fastN         int64
+	fastRetryN    int64
+	fastFallbackN int64
+
+	// Session watermark for the GET fast path (fastread.go): pendW[sh]
+	// counts this connection's admitted-but-unretired single-key writes to
+	// shard sh, pendWAll its in-flight MULTI batches. A GET may bypass the
+	// executor only while its shard's counter and pendWAll are both zero —
+	// that is what preserves read-your-writes and per-key read/write order
+	// for a pipelining client.
+	pendW    []atomic.Int32
+	pendWAll atomic.Int32
 }
 
 // New creates a server over a fresh STM and futures engine. With a DataDir
@@ -285,6 +341,7 @@ func New(cfg Config) (*Server, error) {
 		conns: make(map[*conn]struct{}),
 	}
 	s.multiPool.New = func() any { return new(multiScratch) }
+	s.fastOK = !cfg.DisableFastReads && cfg.Recorder == nil && cfg.execHook == nil
 	s.execs = make([]*executor, cfg.Executors)
 	for i := range s.execs {
 		s.execs[i] = newExecutor(s, i)
@@ -353,7 +410,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed (Drain) or fatal
 		}
-		c := &conn{srv: s, nc: nc, out: make(chan *wire.Response, s.cfg.WriterQueue)}
+		c := &conn{srv: s, nc: nc, out: make(chan *wire.Response, s.cfg.WriterQueue),
+			pendW: make([]atomic.Int32, s.cfg.Shards)}
+		c.bw = bufio.NewWriterSize(nc, connBufSize)
 		s.mu.Lock()
 		if s.draining.Load() {
 			s.mu.Unlock()
@@ -408,12 +467,16 @@ func (c *conn) readLoop() {
 	defer func() {
 		// In-flight requests of this connection still complete and their
 		// responses still flush: the write loop exits only after pending
-		// drained and out closed.
+		// drained and out closed. flushFast publishes the batched fast-read
+		// counters and — critically — releases the held write-buffer lock
+		// BEFORE pending.Wait: the write loop needs wmu to deliver the very
+		// responses pending waits for.
+		c.flushFast()
 		c.pending.Wait()
 		close(c.out)
 		s.connWG.Done()
 	}()
-	br := bufio.NewReader(c.nc)
+	br := bufio.NewReaderSize(c.nc, connBufSize)
 	var buf []byte
 	idle := s.cfg.IdleTimeout
 	var lastArm time.Time
@@ -421,8 +484,53 @@ func (c *conn) readLoop() {
 		lastArm = time.Now()
 		c.nc.SetReadDeadline(lastArm.Add(idle))
 	}
+	rearmIdle := func() {
+		if idle <= 0 {
+			return
+		}
+		if now := time.Now(); now.Sub(lastArm) >= idle/4 {
+			lastArm = now
+			c.nc.SetReadDeadline(now.Add(idle))
+			if s.draining.Load() {
+				// Drain may have set its unblocking deadline between our
+				// check and re-arm; restore it so Drain never wedges.
+				c.nc.SetReadDeadline(now)
+			}
+		}
+	}
+	// onStall runs whenever the loop is about to park on the socket: flush
+	// deferred fast-read responses (so a pipelined burst costs one response
+	// flush, not one per GET — fastread.go) and maintain the idle deadline.
+	// Re-arming here instead of per frame keeps time.Now off the hot path:
+	// while frames are flowing the connection is by definition not idle, and
+	// the frame-counter check below covers a connection that streams
+	// continuously for a quarter of its idle window without ever stalling.
+	onStall := func() {
+		rearmIdle()
+		c.flushFast()
+	}
+	var frames uint
 	for {
-		payload, err := wire.ReadFrame(br, buf)
+		// Zero-copy dispatch: when the next frame is already entirely
+		// buffered and turns out to be a fast-servable GET, serve it
+		// straight out of the read buffer — no copy into buf, no recycle.
+		// Any other outcome (frame split across reads, non-GET, watermark
+		// or retry fallback) falls through to the ordinary copying read,
+		// which re-parses the still-unconsumed frame from the buffer.
+		fastTried := false
+		if s.fastOK && !s.draining.Load() {
+			if payload, ok := wire.PeekFrame(br); ok {
+				if c.tryFastGet(payload) {
+					br.Discard(len(payload) + 4)
+					if frames++; frames&0x3fff == 0 {
+						rearmIdle()
+					}
+					continue
+				}
+				fastTried = true // don't re-try (and re-count) below
+			}
+		}
+		payload, err := wire.ReadFrameStalling(br, buf, onStall)
 		if err != nil {
 			// EOF and deadline-induced errors are normal disconnect/drain;
 			// protocol violations are counted, idle reaps tallied.
@@ -435,16 +543,17 @@ func (c *conn) readLoop() {
 			}
 			return
 		}
-		if idle > 0 {
-			if now := time.Now(); now.Sub(lastArm) >= idle/4 {
-				lastArm = now
-				c.nc.SetReadDeadline(now.Add(idle))
-				if s.draining.Load() {
-					// Drain may have set its unblocking deadline between our
-					// check and re-arm; restore it so Drain never wedges.
-					c.nc.SetReadDeadline(now)
-				}
-			}
+		if frames++; frames&0x3fff == 0 {
+			rearmIdle()
+		}
+		// GET fast path (fastread.go): serve eligible single-key reads right
+		// here, on the raw frame — no pooled Request, no key string, no
+		// queue, no executor — and before the shed check (a fast read
+		// executes synchronously and adds nothing to any queue, so shedding
+		// it would be pure loss).
+		if !fastTried && !s.draining.Load() && c.tryFastGet(payload) {
+			buf = wire.RecycleFrameBuf(payload)
+			continue
 		}
 		// Reuse the backing array for the next frame, unless one oversized
 		// frame inflated it past the retention cap.
@@ -458,10 +567,12 @@ func (c *conn) readLoop() {
 			resp := wire.AcquireResponse()
 			resp.ID, resp.Op, resp.Result = req.ID, req.Op, wire.ErrResult(err.Error())
 			wire.ReleaseRequest(req)
+			c.unhold() // c.send may block on out; the write loop needs wmu
 			c.send(resp)
 			return
 		}
 		if s.draining.Load() {
+			c.unhold()
 			c.sendStatus(req, wire.StatusUnavailable)
 			wire.ReleaseRequest(req)
 			return
@@ -472,22 +583,39 @@ func (c *conn) readLoop() {
 			// shedding is per request, and the client's backoff is the relief
 			// valve.
 			s.shed.Add(1)
+			c.unhold()
 			c.sendStatus(req, wire.StatusBusy)
 			wire.ReleaseRequest(req)
 			continue
 		}
 		ex := s.executorFor(req)
+		wshard := s.writeShard(req)
+		c.admitWrite(wshard)
 		c.pending.Add(1)
 		s.inflight.Add(1)
 		depth := int64(len(ex.q)) + 1
 		select {
-		case ex.q <- task{c: c, req: req}:
+		case ex.q <- task{c: c, req: req, wshard: wshard}:
 			atomicMax(&s.execQHWM, depth)
-		case <-s.quit:
-			c.done()
-			c.sendStatus(req, wire.StatusUnavailable)
-			wire.ReleaseRequest(req)
-			return
+		default:
+			// The run queue is full and the send below will block
+			// (backpressure): push out any deferred fast-read responses
+			// first so they are not held across the wait. The flush lives
+			// on this slow branch only — flushing before every enqueue
+			// would fragment a mixed burst's response writes at each
+			// interleaved write op. (Deferred responses never deadlock
+			// either way: the write loop's next response flush drains the
+			// shared buffer too.)
+			c.flushFast()
+			select {
+			case ex.q <- task{c: c, req: req, wshard: wshard}:
+				atomicMax(&s.execQHWM, depth)
+			case <-s.quit:
+				c.retire(wshard)
+				c.sendStatus(req, wire.StatusUnavailable)
+				wire.ReleaseRequest(req)
+				return
+			}
 		}
 	}
 }
@@ -497,6 +625,21 @@ func (c *conn) readLoop() {
 func (c *conn) done() {
 	c.srv.inflight.Add(-1)
 	c.pending.Done()
+}
+
+// retire is done plus the session-watermark decrement for tracked writes
+// (see fastread.go). Every task admitted by the read loop must retire with
+// the wshard it was admitted under, after its response has been handed off
+// — for durable deferred acks that is after the fsync barrier, which is
+// conservative (the commit is already visible) but never early.
+func (c *conn) retire(wshard int32) {
+	switch {
+	case wshard == wshardAll:
+		c.pendWAll.Add(-1)
+	case wshard >= 0:
+		c.pendW[wshard].Add(-1)
+	}
+	c.done()
 }
 
 // sendStatus enqueues a bare-status response for req.
@@ -522,6 +665,19 @@ func (c *conn) send(resp *wire.Response) {
 	atomicMax(&c.srv.writerQHWM, depth)
 }
 
+// armWriteDeadline pushes the connection's write deadline out to WriteTimeout
+// from now, re-arming at most once per quarter window: a slow client is still
+// reaped within [3/4, 1]×WriteTimeout of its last progress, but the steady
+// state pays the deadline timer syscall once per window, not once per frame.
+// Callers hold wmu.
+func (c *conn) armWriteDeadline() {
+	wt := c.srv.cfg.WriteTimeout
+	if now := time.Now(); now.Sub(c.lastWDL) >= wt/4 {
+		c.lastWDL = now
+		c.nc.SetWriteDeadline(now.Add(wt))
+	}
+}
+
 func (c *conn) writeLoop() {
 	s := c.srv
 	defer func() {
@@ -532,7 +688,6 @@ func (c *conn) writeLoop() {
 		s.mu.Unlock()
 		s.connWG.Done()
 	}()
-	bw := bufio.NewWriter(c.nc)
 	var scratch []byte
 	for resp := range c.out {
 		if c.wfail.Load() {
@@ -547,19 +702,25 @@ func (c *conn) writeLoop() {
 		}
 		wire.ReleaseResponse(resp)
 		scratch = wire.RecycleFrameBuf(payload)
-		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		werr := wire.WriteFrame(bw, payload)
+		c.wmu.Lock()
+		c.armWriteDeadline()
+		werr := wire.WriteFrame(c.bw, payload)
 		if werr == nil && len(c.out) == 0 {
-			werr = bw.Flush() // flush only when no more responses are queued
+			werr = c.bw.Flush() // flush only when no more responses are queued
 		}
+		c.wmu.Unlock()
 		if werr != nil {
 			c.wfail.Store(true)
 			c.nc.Close() // unblock the read loop too
 		}
 	}
 	if !c.wfail.Load() {
+		// The read loop has exited (out is closed after pending drained), so
+		// this final flush also covers any fast responses it left buffered.
+		c.wmu.Lock()
 		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		bw.Flush()
+		c.bw.Flush()
+		c.wmu.Unlock()
 	}
 }
 
@@ -778,31 +939,35 @@ func (s *Server) statsReply() wire.StatsReply {
 	return wire.StatsReply{
 		WAL: walSec,
 		Server: wire.ServerStats{
-			Ordering:       s.sys.Options().Ordering.String(),
-			Atomicity:      s.sys.Options().Atomicity.String(),
-			Shards:         s.cfg.Shards,
-			Workers:        s.cfg.Executors,
-			Executors:      s.cfg.Executors,
-			GroupLimit:     s.cfg.GroupLimit,
-			FlushWindowUS:  s.cfg.FlushWindow.Microseconds(),
-			WriterQueue:    s.cfg.WriterQueue,
-			WriterQueueHWM: s.writerQHWM.Load(),
-			ExecQueueHWM:   s.execQHWM.Load(),
-			GroupCommits:   s.groupCommits.Load(),
-			GroupedOps:     s.groupedOps.Load(),
-			ConnsOpened:    s.connsOpened.Load(),
-			ConnsActive:    s.connsActive.Load(),
-			Requests:       s.requests.Load(),
-			KeysServed:     s.keysServed.Load(),
-			MultiBatches:   s.multiBatches.Load(),
-			FutureFanouts:  s.futureFanouts.Load(),
-			BadFrames:      s.badFrames.Load(),
-			MaxInFlight:    s.cfg.MaxInFlight,
-			InFlight:       s.inflight.Load(),
-			Shed:           s.shed.Load(),
-			DedupHits:      s.dedupHits.Load(),
-			IdleReaped:     s.idleReaped.Load(),
-			Draining:       s.draining.Load(),
+			Ordering:          s.sys.Options().Ordering.String(),
+			Atomicity:         s.sys.Options().Atomicity.String(),
+			Shards:            s.cfg.Shards,
+			Workers:           s.cfg.Executors,
+			Executors:         s.cfg.Executors,
+			GroupLimit:        s.cfg.GroupLimit,
+			FlushWindowUS:     s.cfg.FlushWindow.Microseconds(),
+			WriterQueue:       s.cfg.WriterQueue,
+			WriterQueueHWM:    s.writerQHWM.Load(),
+			ExecQueueHWM:      s.execQHWM.Load(),
+			GroupCommits:      s.groupCommits.Load(),
+			GroupedOps:        s.groupedOps.Load(),
+			ConnsOpened:       s.connsOpened.Load(),
+			ConnsActive:       s.connsActive.Load(),
+			Requests:          s.requests.Load(),
+			KeysServed:        s.keysServed.Load(),
+			MultiBatches:      s.multiBatches.Load(),
+			FutureFanouts:     s.futureFanouts.Load(),
+			BadFrames:         s.badFrames.Load(),
+			MaxInFlight:       s.cfg.MaxInFlight,
+			InFlight:          s.inflight.Load(),
+			Shed:              s.shed.Load(),
+			FastReadsEnabled:  s.fastOK,
+			FastReads:         s.fastReads.Load(),
+			FastReadRetries:   s.fastReadRetries.Load(),
+			FastReadFallbacks: s.fastReadFallbacks.Load(),
+			DedupHits:         s.dedupHits.Load(),
+			IdleReaped:        s.idleReaped.Load(),
+			Draining:          s.draining.Load(),
 		},
 		Engine: wire.EngineStats{
 			TopCommits:          e.TopCommits,

@@ -2,7 +2,6 @@ package server
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"wtftm"
 	"wtftm/internal/tstruct"
@@ -34,12 +33,59 @@ func newStore(stm *wtftm.STM, shards, buckets int) *store {
 	return st
 }
 
-// shardOf maps a key to its shard (FNV-1a; stable across restarts so logs
-// and traces stay comparable).
+// shardOf maps a key to its shard (FNV-1a, inlined over the string; the
+// same hash values hash/fnv produces, stable across restarts so logs and
+// traces stay comparable, without the hash.Hash allocation risk on the
+// zero-alloc read fast path).
 func (st *store) shardOf(key string) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(st.shards)))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(len(st.shards)))
+}
+
+// getFast serves one GET against shard sh outside any transaction, via the
+// map's lock-free read path (tstruct.Map.GetFast over mvstm.ReadLatest).
+// ok == false means the retry budget was exhausted by concurrent version
+// trims and the caller must fall back to a transactional read.
+func (st *store) getFast(sh int, key string) (val string, found bool, retries int, ok bool) {
+	v, found, retries, ok := st.shards[sh].GetFast(key)
+	if !ok || !found {
+		return "", found, retries, ok
+	}
+	return v.(string), true, retries, true
+}
+
+// shardOfBytes is shardOf over a key still in its wire buffer (same FNV-1a,
+// same shard assignment, no string).
+func (st *store) shardOfBytes(key []byte) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(len(st.shards)))
+}
+
+// getFastBytes is getFast without the key string: the read loop hands the
+// key down as the payload subslice it decoded, and the hash, bucket lookup
+// and entry comparisons all run over the bytes.
+func (st *store) getFastBytes(sh int, key []byte) (val string, found bool, retries int, ok bool) {
+	v, found, retries, ok := st.shards[sh].GetFastBytes(key)
+	if !ok || !found {
+		return "", found, retries, ok
+	}
+	return v.(string), true, retries, true
 }
 
 // apply executes one command against the store through rw (a plain MV-STM

@@ -384,3 +384,93 @@ func TestMapSnapshotRestore(t *testing.T) {
 		return nil
 	})
 }
+
+func TestMapGetFast(t *testing.T) {
+	stm := mvstm.New()
+	m := NewMap(stm, 4)
+	if _, found, retries, ok := m.GetFast("a"); !ok || found || retries != 0 {
+		t.Fatalf("GetFast on empty map: found=%v retries=%d ok=%v", found, retries, ok)
+	}
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		m.Put(tx, "a", "one")
+		m.Put(tx, "b", "two")
+		return nil
+	})
+	if v, found, _, ok := m.GetFast("a"); !ok || !found || v != "one" {
+		t.Fatalf("GetFast(a) = (%v, %v, ok=%v)", v, found, ok)
+	}
+	runTx(t, stm, func(tx *mvstm.Txn) error { m.Delete(tx, "a"); return nil })
+	if _, found, _, ok := m.GetFast("a"); !ok || found {
+		t.Fatalf("GetFast after delete: found=%v ok=%v", found, ok)
+	}
+	if v, found, _, ok := m.GetFast("b"); !ok || !found || v != "two" {
+		t.Fatalf("GetFast(b) = (%v, %v, ok=%v)", v, found, ok)
+	}
+}
+
+// TestMapGetFastMatchesTransactionalGet cross-checks the fast path against
+// the transactional read under concurrent writers: any value GetFast
+// returns must be one a snapshot transaction could also have observed
+// (per-key monotonically increasing, never ahead of the issuing writer).
+func TestMapGetFastMatchesTransactionalGet(t *testing.T) {
+	stm := mvstm.New()
+	m := NewMap(stm, 4)
+	const keys = 8
+	key := func(i int) string { return fmt.Sprintf("k%d", i) }
+	runTx(t, stm, func(tx *mvstm.Txn) error {
+		for i := 0; i < keys; i++ {
+			m.Put(tx, key(i), 0)
+		}
+		return nil
+	})
+
+	var writerWg, readerWg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			for i := 0; i < 300; i++ {
+				k := key((w*keys/2 + i) % keys)
+				runTx(t, stm, func(tx *mvstm.Txn) error {
+					v, _ := m.Get(tx, k)
+					m.Put(tx, k, v.(int)+1)
+					return nil
+				})
+			}
+		}(w)
+	}
+	readerWg.Add(1)
+	go func() {
+		defer readerWg.Done()
+		last := map[string]int{}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < keys; i++ {
+				k := key(i)
+				v, found, _, ok := m.GetFast(k)
+				if !ok {
+					continue
+				}
+				if !found {
+					t.Errorf("key %s vanished", k)
+					return
+				}
+				if n := v.(int); n < last[k] {
+					t.Errorf("key %s went backwards: %d -> %d", k, last[k], n)
+					return
+				} else {
+					last[k] = n
+				}
+			}
+		}
+	}()
+	// Writers drain first, then the reader gets the stop signal.
+	writerWg.Wait()
+	close(stop)
+	readerWg.Wait()
+}

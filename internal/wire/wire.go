@@ -230,6 +230,34 @@ type Response struct {
 	Result Result
 	// Batch holds per-command results of a MULTI, aligned with the request.
 	Batch []Result
+	// valBuf is a private scratch buffer for Result.Val, populated only by
+	// SetVal/SetValString/DecodeResponseInto and recycled (size-capped) by
+	// ReleaseResponse. It exists so pooled responses can carry values with
+	// zero steady-state allocation WITHOUT ever reusing Result.Val itself:
+	// Result.Val may alias memory the response does not own (the server's
+	// dedup table aliases its immutable result copies straight into outgoing
+	// responses), so appending into a recycled Result.Val would scribble on
+	// foreign state. The scratch is only ever written through the setters,
+	// which makes it provably this response's own.
+	valBuf []byte
+}
+
+// SetVal points resp.Result at a copy of val (status st) held in resp's
+// private scratch buffer. Use it on pooled responses for values that must
+// survive until the response is encoded; ReleaseResponse then recycles the
+// buffer. The copy semantics match ValResult — val itself is not retained.
+func (resp *Response) SetVal(st Status, val []byte) {
+	resp.valBuf = append(resp.valBuf[:0], val...)
+	resp.Result = Result{Status: st, Val: resp.valBuf, HasVal: true}
+}
+
+// SetValString is SetVal for string-typed values, avoiding the []byte
+// conversion allocation (this is the server GET fast path's value handoff:
+// store values are strings and must be copied exactly once, into the
+// response's own scratch).
+func (resp *Response) SetValString(st Status, val string) {
+	resp.valBuf = append(resp.valBuf[:0], val...)
+	resp.Result = Result{Status: st, Val: resp.valBuf, HasVal: true}
 }
 
 // Err reports a decoded protocol violation.
@@ -247,8 +275,22 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return ErrFrameTooLarge
 	}
+	n := uint32(len(payload))
+	if bw, ok := w.(*bufio.Writer); ok {
+		// Buffered hot path (every server and client write loop): emit the
+		// header byte-by-byte. Passing a stack [4]byte slice to the
+		// io.Writer interface below makes it escape — one heap allocation
+		// per frame, which the zero-alloc read path cannot afford. bufio
+		// errors are sticky, so checking the payload write alone suffices.
+		bw.WriteByte(byte(n >> 24))
+		bw.WriteByte(byte(n >> 16))
+		bw.WriteByte(byte(n >> 8))
+		bw.WriteByte(byte(n))
+		_, err := bw.Write(payload)
+		return err
+	}
 	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[:], n)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -256,17 +298,35 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
+// readFrameHeader reads and validates one frame's 4-byte length prefix off
+// the concrete bufio.Reader via Peek/Discard: a stack [4]byte handed to
+// io.ReadFull would escape through the interface — one heap allocation per
+// frame — and byte-at-a-time reads cost four bounds-checked calls where Peek
+// costs one. A clean EOF before any header byte is a peer closing between
+// frames; EOF mid-header is a truncated frame.
+func readFrameHeader(r *bufio.Reader) (uint32, error) {
+	hdr, err := r.Peek(4)
+	if err != nil {
+		if errors.Is(err, io.EOF) && len(hdr) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	r.Discard(4)
+	if n > MaxFrame {
+		return 0, ErrFrameTooLarge
+	}
+	return n, nil
+}
+
 // ReadFrame reads one frame's payload, reusing buf when it is large enough.
 // The length prefix is validated against MaxFrame before any allocation, so
 // a hostile peer cannot make the reader over-allocate.
 func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	n, err := readFrameHeader(r)
+	if err != nil {
 		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, ErrFrameTooLarge
 	}
 	if cap(buf) < int(n) {
 		buf = make([]byte, n)
@@ -279,6 +339,60 @@ func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// ReadFrameStalling is ReadFrame with a stall callback: onStall runs
+// immediately before any read that would block on the underlying transport
+// (the buffered bytes cannot complete the current header or payload). A read
+// loop that defers response flushes to batch them uses this to flush exactly
+// when it is about to park — never earlier (losing the batching) and never
+// later (holding responses while both peers wait would deadlock). onStall may
+// run more than once per frame (header stall, then payload stall) and must
+// tolerate having nothing to do.
+func ReadFrameStalling(r *bufio.Reader, buf []byte, onStall func()) ([]byte, error) {
+	if r.Buffered() < 4 {
+		onStall()
+	}
+	n, err := readFrameHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Buffered() < int(n) {
+		onStall()
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// PeekFrame returns the next frame's payload without consuming it, when —
+// and only when — the frame is entirely buffered in r: no syscall, no copy.
+// ok=false (not enough buffered, or an oversized length prefix) means the
+// caller must fall back to ReadFrame/ReadFrameStalling, which report proper
+// errors; PeekFrame never consumes input either way. The returned slice
+// aliases r's internal buffer: it is invalidated by the r.Discard(4+len)
+// that consumes the frame, so the caller must finish with the payload
+// first.
+func PeekFrame(r *bufio.Reader) (payload []byte, ok bool) {
+	buffered := r.Buffered()
+	if buffered < 4 {
+		return nil, false
+	}
+	hdr, _ := r.Peek(4)
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxFrame || buffered < 4+int(n) {
+		return nil, false
+	}
+	whole, _ := r.Peek(4 + int(n))
+	return whole[4:], true
 }
 
 // RecycleFrameBuf prepares a frame buffer for reuse by the next ReadFrame
@@ -415,6 +529,44 @@ func AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 		}
 	}
 	return dst, nil
+}
+
+// DecodeGetKey decodes payload if and only if it is a well-formed plain GET
+// request, returning its ID and a key slice aliasing payload — no copy, no
+// pooled Request, no key string. ok is false for everything else (other
+// opcodes, DEDUP envelopes, malformed frames); the caller routes those
+// through the full decoder, which produces the proper protocol error. This
+// is the read fast path's admission test: it must never misclassify, so it
+// re-checks exact body consumption rather than trusting the opcode byte.
+func DecodeGetKey(payload []byte) (id uint32, key []byte, ok bool) {
+	if len(payload) < 5 || Op(payload[4]) != OpGet {
+		return 0, nil, false
+	}
+	n, sz := binary.Uvarint(payload[5:])
+	if sz <= 0 || n > MaxKeyLen {
+		return 0, nil, false
+	}
+	body := payload[5+sz:]
+	if uint64(len(body)) != n {
+		return 0, nil, false
+	}
+	return binary.BigEndian.Uint32(payload), body, true
+}
+
+// AppendGetResult appends the payload of a single-key GET response — status
+// OK with the value when found, StatusNotFound with no value otherwise — to
+// dst, byte-identical to AppendResponse over the equivalent Response. It is
+// the read fast path's allocation-free encoder: no Response object, one copy
+// (store value into dst). The caller guarantees len(val) ≤ MaxValLen (store
+// values were length-checked at PUT decode).
+func AppendGetResult(dst []byte, id uint32, val string, found bool) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, id)
+	dst = append(dst, byte(OpGet))
+	if found {
+		dst = append(dst, byte(StatusOK), 1)
+		return appendString(dst, val)
+	}
+	return append(dst, byte(StatusNotFound), 0)
 }
 
 // --- decoding --------------------------------------------------------------
@@ -647,40 +799,68 @@ func decodeResult(r *reader) (Result, error) {
 // DecodeResponse decodes one response payload. It returns an error — never
 // panics — on malformed input.
 func DecodeResponse(payload []byte) (Response, error) {
-	r := reader{b: payload}
 	var resp Response
+	err := DecodeResponseInto(&resp, payload)
+	return resp, err
+}
+
+// DecodeResponseInto decodes one response payload into resp, copying the
+// top-level result value into resp's private scratch buffer and reusing
+// resp.Batch storage where capacity allows. With a pooled response
+// (AcquireResponse) a non-MULTI response decodes with zero steady-state
+// allocations; MULTI batch values are still cloned individually because the
+// Batch slice is routinely handed to callers outliving the response. On
+// error resp is left partially filled; release it normally.
+func DecodeResponseInto(resp *Response, payload []byte) error {
+	r := reader{b: payload}
 	id, err := r.u32()
 	if err != nil {
-		return resp, err
+		return err
 	}
 	op, err := r.byte()
 	if err != nil {
-		return resp, err
+		return err
 	}
 	resp.ID = id
 	resp.Op = Op(op)
-	if resp.Result, err = decodeResult(&r); err != nil {
-		return resp, err
+	st, err := r.byte()
+	if err != nil {
+		return err
+	}
+	flag, err := r.byte()
+	if err != nil {
+		return err
+	}
+	switch flag {
+	case 0:
+		resp.Result = Result{Status: Status(st)}
+	case 1:
+		v, err := r.bytes(MaxValLen)
+		if err != nil {
+			return err
+		}
+		resp.SetVal(Status(st), v)
+	default:
+		return fmt.Errorf("wire: bad result value flag %d", flag)
 	}
 	if resp.Op == OpMulti {
 		n, err := r.uvarint(MaxMultiOps)
 		if err != nil {
-			return resp, err
+			return err
 		}
-		capHint := int(n)
-		if m := len(r.b) / 2; capHint > m {
-			capHint = m
-		}
-		resp.Batch = make([]Result, 0, capHint)
+		resp.Batch = resp.Batch[:0]
+		// Grow one result at a time, bounded by the remaining bytes (every
+		// result is ≥ 2 bytes): a tiny frame declaring MaxMultiOps results
+		// must not allocate for all of them.
 		for i := uint64(0); i < n; i++ {
 			res, err := decodeResult(&r)
 			if err != nil {
-				return resp, err
+				return err
 			}
 			resp.Batch = append(resp.Batch, res)
 		}
 	}
-	return resp, r.done()
+	return r.done()
 }
 
 // --- object pools ----------------------------------------------------------
@@ -740,12 +920,19 @@ func resetCmd(c *Cmd) {
 // ReleaseResponse (typically after the response frame has been encoded).
 func AcquireResponse() *Response { return responsePool.Get().(*Response) }
 
-// ReleaseResponse resets resp (keeping a size-capped Batch for reuse) and
-// returns it to the pool.
+// ReleaseResponse resets resp (keeping a size-capped Batch and value
+// scratch for reuse) and returns it to the pool. Result is always fully
+// cleared — it may alias memory the response does not own (see
+// Response.valBuf) — while the private scratch buffer is retained.
 func ReleaseResponse(resp *Response) {
 	resp.ID = 0
 	resp.Op = 0
 	resp.Result = Result{}
+	if cap(resp.valBuf) > maxRetainedVal {
+		resp.valBuf = nil
+	} else {
+		resp.valBuf = resp.valBuf[:0]
+	}
 	if cap(resp.Batch) > maxRetainedBatch {
 		resp.Batch = nil
 	} else {
@@ -810,6 +997,16 @@ type ServerStats struct {
 	MaxInFlight int   `json:"max_in_flight"`
 	InFlight    int64 `json:"in_flight"`
 	Shed        int64 `json:"shed"`
+	// FastReadsEnabled echoes whether the lock-free GET fast path is on.
+	// FastReads counts GETs served directly in the connection read loop
+	// (no executor hop, no transaction); FastReadRetries the clock-reload
+	// retries those reads needed against concurrent version trims;
+	// FastReadFallbacks the eligible GETs routed to an executor after all —
+	// retry budget exhausted or a pending write on the same session.
+	FastReadsEnabled  bool  `json:"fast_reads_enabled"`
+	FastReads         int64 `json:"fast_reads"`
+	FastReadRetries   int64 `json:"fast_read_retries"`
+	FastReadFallbacks int64 `json:"fast_read_fallbacks"`
 	// DedupHits counts retried writes answered from the exactly-once table
 	// instead of being re-applied.
 	DedupHits int64 `json:"dedup_hits"`

@@ -153,6 +153,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		if got.Op == OpMulti && len(got.Batch) == 0 && len(resp.Batch) == 0 {
 			got.Batch, resp.Batch = nil, nil
 		}
+		got.valBuf = nil // private scratch, not part of the decoded document
 		if !reflect.DeepEqual(got, resp) {
 			t.Fatalf("round trip: got %+v, want %+v", got, resp)
 		}

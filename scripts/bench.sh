@@ -15,6 +15,12 @@ LABEL="${1:?usage: scripts/bench.sh <label> [benchtime]}"
 BENCHTIME="${2:-0.5s}"
 OUT=BENCH_mvstm.json
 
+# Host context recorded into every entry: throughput numbers are meaningless
+# across machines without the parallelism and the silicon they ran on.
+GOMAXPROCS_VAL="${GOMAXPROCS:-$(nproc)}"
+CPU_MODEL=$(grep -m1 'model name' /proc/cpuinfo 2>/dev/null | cut -d: -f2- | sed 's/^[[:space:]]*//')
+[ -n "$CPU_MODEL" ] || CPU_MODEL=unknown
+
 RAW=$(go test -run '^$' -bench 'BenchmarkCommitContention|BenchmarkBeginFinish|BenchmarkReadOnly' \
 	-benchtime "$BENCHTIME" -benchmem ./internal/mvstm/)
 
@@ -38,8 +44,10 @@ META=$(jq -n \
 	--arg rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 	--arg go "$(go version | awk '{print $3}')" \
 	--argjson cpus "$(nproc)" \
+	--argjson gomaxprocs "$GOMAXPROCS_VAL" \
+	--arg cpu_model "$CPU_MODEL" \
 	--argjson benches "$ENTRIES" \
-	'{"label":$lbl,"date":$date,"rev":$rev,"go":$go,"cpus":$cpus,"benches":$benches}')
+	'{"label":$lbl,"date":$date,"rev":$rev,"go":$go,"cpus":$cpus,"gomaxprocs":$gomaxprocs,"cpu_model":$cpu_model,"benches":$benches}')
 
 if [ -f "$OUT" ]; then
 	jq --argjson entry "$META" '. + [$entry]' "$OUT" >"$OUT.tmp" && mv "$OUT.tmp" "$OUT"
@@ -55,9 +63,13 @@ SRVOUT=BENCH_server.json
 SRVRES=$(go run ./cmd/wtfbench -exp server -quick -duration 150ms -json | jq '.result')
 
 # Request-path allocation benchmarks: ns/op + allocs/op of the pooled
-# decode -> execute -> encode lifecycle (the ci.sh <= 2 allocs/op gate).
-SRVRAW=$(go test -run '^$' -bench 'BenchmarkServerEcho$|BenchmarkServerGetPath$' \
+# decode -> execute -> encode lifecycle (the ci.sh <= 2 allocs/op gate), the
+# lock-free GET fast path (0 allocs/op gate), and the client's full GET
+# round-trip (<= 1 alloc/op gate — the server-side key string).
+SRVRAW=$(go test -run '^$' -bench 'BenchmarkServerEcho$|BenchmarkServerGetPath$|BenchmarkServerFastGet$' \
 	-benchtime "$BENCHTIME" -benchmem ./internal/server/)
+SRVRAW="$SRVRAW
+$(go test -run '^$' -bench 'BenchmarkClientGetRoundTrip$' -benchtime "$BENCHTIME" -benchmem ./internal/client/)"
 
 SRVBENCHES=$(printf '%s\n' "$SRVRAW" | awk '
 	/^Benchmark/ {
@@ -78,9 +90,11 @@ SRVMETA=$(jq -n \
 	--arg rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 	--arg go "$(go version | awk '{print $3}')" \
 	--argjson cpus "$(nproc)" \
+	--argjson gomaxprocs "$GOMAXPROCS_VAL" \
+	--arg cpu_model "$CPU_MODEL" \
 	--argjson benches "$SRVBENCHES" \
 	--argjson result "$SRVRES" \
-	'{"label":$lbl,"date":$date,"rev":$rev,"go":$go,"cpus":$cpus,"benches":$benches,"result":$result}')
+	'{"label":$lbl,"date":$date,"rev":$rev,"go":$go,"cpus":$cpus,"gomaxprocs":$gomaxprocs,"cpu_model":$cpu_model,"benches":$benches,"result":$result}')
 
 if [ -f "$SRVOUT" ]; then
 	jq --argjson entry "$SRVMETA" '. + [$entry]' "$SRVOUT" >"$SRVOUT.tmp" && mv "$SRVOUT.tmp" "$SRVOUT"
@@ -117,9 +131,11 @@ COREMETA=$(jq -n \
 	--arg rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 	--arg go "$(go version | awk '{print $3}')" \
 	--argjson cpus "$(nproc)" \
+	--argjson gomaxprocs "$GOMAXPROCS_VAL" \
+	--arg cpu_model "$CPU_MODEL" \
 	--argjson benches "$COREENTRIES" \
 	--argjson sweep "$CORERES" \
-	'{"label":$lbl,"date":$date,"rev":$rev,"go":$go,"cpus":$cpus,"benches":$benches,"sweep":$sweep}')
+	'{"label":$lbl,"date":$date,"rev":$rev,"go":$go,"cpus":$cpus,"gomaxprocs":$gomaxprocs,"cpu_model":$cpu_model,"benches":$benches,"sweep":$sweep}')
 
 if [ -f "$COREOUT" ]; then
 	jq --argjson entry "$COREMETA" '. + [$entry]' "$COREOUT" >"$COREOUT.tmp" && mv "$COREOUT.tmp" "$COREOUT"

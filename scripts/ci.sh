@@ -84,6 +84,47 @@ if [ "$ALLOCS" -gt 2 ]; then
 fi
 echo "   BenchmarkServerEcho: ${ALLOCS} allocs/op (floor 2)"
 
+echo "== tier-1.5: GET fast-path allocation guard (0 allocs/op) =="
+# The lock-free read path's entire point is an allocation-free read-heavy
+# workload: a single alloc/op in the fast-serve loop is a regression.
+FALLOCS=$(go test -run '^$' -bench 'BenchmarkServerFastGet$' -benchtime 20000x -benchmem ./internal/server/ |
+	awk '/^BenchmarkServerFastGet/ { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }')
+if [ -z "$FALLOCS" ]; then
+	echo "ci: BenchmarkServerFastGet reported no allocs/op" >&2
+	exit 1
+fi
+if [ "$FALLOCS" -gt 0 ]; then
+	echo "ci: GET fast path allocates ${FALLOCS} allocs/op, floor is 0" >&2
+	exit 1
+fi
+echo "   BenchmarkServerFastGet: ${FALLOCS} allocs/op (floor 0)"
+
+echo "== tier-1.5: client GET round-trip allocation guard (<= 1 alloc/op) =="
+# Full loopback round trip via GetBytes: the only permitted allocation is
+# the server materializing the key string during request decode.
+CALLOCS=$(go test -run '^$' -bench 'BenchmarkClientGetRoundTrip$' -benchtime 20000x -benchmem ./internal/client/ |
+	awk '/^BenchmarkClientGetRoundTrip/ { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }')
+if [ -z "$CALLOCS" ]; then
+	echo "ci: BenchmarkClientGetRoundTrip reported no allocs/op" >&2
+	exit 1
+fi
+if [ "$CALLOCS" -gt 1 ]; then
+	echo "ci: client GET round trip allocates ${CALLOCS} allocs/op, floor is 1" >&2
+	exit 1
+fi
+echo "   BenchmarkClientGetRoundTrip: ${CALLOCS} allocs/op (floor 1)"
+
+echo "== tier-1.5: read fast-path smoke (clean fallback rate <= 1%, session order under race) =="
+# The fallback-rate gate catches a broken watermark or retry budget (every
+# fallback is a silent perf loss, not an error); the race slice pins
+# ReadLatest against concurrent commits and trims, GetFast against
+# transactional writers, and the served monotonic-reads story across paths.
+go test -run TestFastReadCleanFallbackRate -count=1 ./internal/server/
+go test -race -count=1 -run 'TestReadLatestStress' ./internal/mvstm/
+go test -race -count=1 -run 'TestMapGetFastMatchesTransactionalGet' ./internal/tstruct/
+go test -race -count=1 -run 'TestFastRead' ./internal/server/
+go test -race -count=1 -run 'TestChaosFastReadConformance' ./internal/chaos/
+
 echo "== tier-1.5: wtfconform smoke (conform_fault build: must catch the bug) =="
 if go run -tags conform_fault ./cmd/wtfconform -mode dfs -ordering wo -atomicity lac -seed 1 -seeds 8 -budget 300; then
 	echo "ci: fault-injected engine produced no violation — the oracle is blind" >&2
