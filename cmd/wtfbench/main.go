@@ -6,7 +6,7 @@
 //
 //	wtfbench [flags]
 //
-//	-exp string    experiment: all|fig3|fig6left|fig6right|fig7|fig8|fig9|intruder|kmeans|segments|ablation|mvcommit|server|core (default "all")
+//	-exp string    experiment: all|fig3|fig6left|fig6right|fig7|fig8|fig9|intruder|kmeans|segments|ablation|mvcommit|server|aborts|core (default "all")
 //	-quick         run the scaled-down grids (default true; -quick=false uses paper-scale parameters)
 //	-duration d    measurement window per data point (default 1s; quick: 250ms)
 //	-array n       size of the read array (paper: 1000000)
@@ -42,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|fig3|fig6left|fig6right|fig7|fig8|fig9|intruder|kmeans|segments|ablation|mvcommit|server|core")
+		exp      = flag.String("exp", "all", "experiment: all|fig3|fig6left|fig6right|fig7|fig8|fig9|intruder|kmeans|segments|ablation|mvcommit|server|aborts|core")
 		quick    = flag.Bool("quick", true, "scaled-down grids (set -quick=false for paper-scale parameters)")
 		duration = flag.Duration("duration", 0, "measurement window per data point (0 = preset default)")
 		array    = flag.Int("array", 0, "read array size (0 = preset default; paper: 1000000)")
@@ -173,6 +173,9 @@ func main() {
 	})
 	run("server", func() (printer, error) {
 		return bench.RunServer(cfg, bench.DefaultServer(*quick))
+	})
+	run("aborts", func() (printer, error) {
+		return bench.RunAborts(cfg, bench.DefaultAborts(*quick))
 	})
 	run("core", func() (printer, error) {
 		return bench.RunCore(cfg, bench.DefaultCore(*quick))

@@ -10,7 +10,7 @@
 //	     [-idle-timeout d] [-max-inflight n] [-fast-reads=true|false]
 //	     [-ordering wo|so] [-atomicity lac|gac] [-stats interval]
 //	     [-data-dir dir] [-fsync always|group|off] [-commit-delay d]
-//	     [-snapshot-every n] [-segment-bytes n] [-pprof addr]
+//	     [-snapshot-every n] [-segment-bytes n] [-http addr] [-slow-ms n]
 //
 // The -ordering flag selects the future semantics MULTI batches run under:
 // wo (weakly ordered, the paper's WTF-TM) or so (strongly ordered, the JTF
@@ -46,8 +46,16 @@
 // connection lives before the server reaps it (default 2m, negative =
 // never); -max-inflight caps admitted-but-unanswered requests across all
 // connections — beyond it the server sheds store requests with BUSY instead
-// of queueing (default 4096, negative = unbounded). -pprof serves
-// net/http/pprof on the given address for live profiling.
+// of queueing (default 4096, negative = unbounded).
+//
+// -http serves the observability endpoints on the given address:
+// Prometheus-text /metrics, JSON /debug/wtfd/stats, the slow-request flight
+// recorder at /debug/wtfd/slow, and net/http/pprof under /debug/pprof/. The
+// listener is opened synchronously — a busy port is a startup error, not a
+// background log line. -pprof is the deprecated alias for -http. -slow-ms
+// sets the flight recorder's slow-request threshold in milliseconds (0 =
+// default 20, negative = disable recording); SIGQUIT also dumps the
+// recorder to stderr.
 //
 // wtfd shuts down gracefully on SIGINT/SIGTERM: it refuses new connections,
 // completes in-flight transactions, flushes their responses, then exits.
@@ -57,8 +65,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof handlers, served via -pprof
+	_ "net/http/pprof" // registers /debug/pprof handlers, served via -http
 	"os"
 	"os/signal"
 	"syscall"
@@ -73,7 +82,7 @@ import (
 type runOpts struct {
 	listen    string
 	stats     time.Duration
-	pprofAddr string
+	httpAddr  string // observability endpoints + pprof (-http, alias -pprof)
 	ordering  string // echoed in the banner
 	atomicity string
 	fsyncName string
@@ -103,7 +112,9 @@ func parseArgs(args []string) (server.Config, runOpts, error) {
 		commitDelay = fs.Duration("commit-delay", 0, "group-commit window: how long to hold the fsync barrier open for more commits (0 = default 1ms, negative = no wait)")
 		snapEvery   = fs.Int64("snapshot-every", 0, "checkpoint a shard after this many WAL records (0 = default 65536, negative = never)")
 		segBytes    = fs.Int64("segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default)")
-		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+		httpAddr    = fs.String("http", "", "serve /metrics, /debug/wtfd/* and /debug/pprof/ on this address (empty = off)")
+		pprofAddr   = fs.String("pprof", "", "deprecated alias for -http")
+		slowMS      = fs.Int("slow-ms", 0, "flight-record requests slower than this many milliseconds (0 = default 20, negative = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return server.Config{}, runOpts{}, err
@@ -140,7 +151,15 @@ func parseArgs(args []string) (server.Config, runOpts, error) {
 		}
 	}
 
+	// -pprof is the historical name for what is now the full observability
+	// endpoint; both set the same address, with -http winning on conflict.
+	addr := *httpAddr
+	if addr == "" {
+		addr = *pprofAddr
+	}
+
 	cfg := server.Config{
+		SlowMS:           *slowMS,
 		Shards:           *shards,
 		Buckets:          *buckets,
 		Executors:        *executors,
@@ -180,7 +199,7 @@ func parseArgs(args []string) (server.Config, runOpts, error) {
 	opts := runOpts{
 		listen:    *listen,
 		stats:     *stats,
-		pprofAddr: *pprofAddr,
+		httpAddr:  addr,
 		ordering:  *ordering,
 		atomicity: *atomicity,
 		fsyncName: pol.String(),
@@ -197,20 +216,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	if opts.pprofAddr != "" {
-		go func() {
-			fmt.Fprintf(os.Stderr, "wtfd: pprof on http://%s/debug/pprof/\n", opts.pprofAddr)
-			if err := http.ListenAndServe(opts.pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "wtfd: pprof: %v\n", err)
-			}
-		}()
-	}
-
 	s, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wtfd: %v\n", err)
 		os.Exit(1)
 	}
+
+	if opts.httpAddr != "" {
+		// Open the listener synchronously: an operator who asked for the
+		// observability endpoint must learn about a busy port at startup,
+		// not from a log line after the daemon is already serving.
+		ln, err := net.Listen("tcp", opts.httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wtfd: -http: %v\n", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/", s.DebugHandler())
+		mux.Handle("/debug/pprof/", http.DefaultServeMux) // net/http/pprof registrations
+		fmt.Fprintf(os.Stderr, "wtfd: http on http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "wtfd: -http: %v\n", err)
+			}
+		}()
+	}
+
 	if err := s.Listen(opts.listen); err != nil {
 		fmt.Fprintf(os.Stderr, "wtfd: %v\n", err)
 		os.Exit(1)
@@ -229,6 +260,19 @@ func main() {
 			}
 		}()
 	}
+
+	// SIGQUIT dumps the slow-request flight recorder without stopping the
+	// daemon — the "why was that request slow" question answered in the field.
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	go func() {
+		for range sigq {
+			if err := s.WriteSlowDump(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "wtfd: slow dump: %v\n", err)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -84,6 +84,45 @@ func TestParseArgs(t *testing.T) {
 				}
 			},
 		},
+		{
+			name: "http flag sets the observability address",
+			args: []string{"-http", "127.0.0.1:9090", "-slow-ms", "5"},
+			check: func(t *testing.T, got parsed) {
+				if got.opts.httpAddr != "127.0.0.1:9090" {
+					t.Errorf("httpAddr = %q", got.opts.httpAddr)
+				}
+				if got.cfg.SlowMS != 5 {
+					t.Errorf("SlowMS = %d, want 5", got.cfg.SlowMS)
+				}
+			},
+		},
+		{
+			name: "pprof is a working alias for http",
+			args: []string{"-pprof", "127.0.0.1:9091"},
+			check: func(t *testing.T, got parsed) {
+				if got.opts.httpAddr != "127.0.0.1:9091" {
+					t.Errorf("httpAddr via -pprof = %q", got.opts.httpAddr)
+				}
+			},
+		},
+		{
+			name: "http wins over the pprof alias",
+			args: []string{"-pprof", "127.0.0.1:1", "-http", "127.0.0.1:2"},
+			check: func(t *testing.T, got parsed) {
+				if got.opts.httpAddr != "127.0.0.1:2" {
+					t.Errorf("httpAddr = %q, want the -http value", got.opts.httpAddr)
+				}
+			},
+		},
+		{
+			name: "negative slow-ms disables the flight recorder",
+			args: []string{"-slow-ms", "-1"},
+			check: func(t *testing.T, got parsed) {
+				if got.cfg.SlowMS >= 0 {
+					t.Errorf("SlowMS = %d, want negative passed through", got.cfg.SlowMS)
+				}
+			},
+		},
 		{name: "bad fsync", args: []string{"-data-dir", "d", "-fsync", "sometimes"}, wantErr: "sync policy"},
 		{name: "bad ordering", args: []string{"-ordering", "chaotic"}, wantErr: "-ordering"},
 		{name: "bad atomicity", args: []string{"-atomicity", "none"}, wantErr: "-atomicity"},

@@ -16,6 +16,7 @@ import (
 	"wtftm/internal/chaos"
 	"wtftm/internal/client"
 	"wtftm/internal/core"
+	"wtftm/internal/obs"
 	"wtftm/internal/server"
 	"wtftm/internal/wal"
 	"wtftm/internal/wire"
@@ -136,9 +137,13 @@ type ServerPoint struct {
 	ReqPerSec float64
 	// KeysPerSec is ReqPerSec × batch: per-key serving rate.
 	KeysPerSec float64
-	// P50 and P99 are request latency percentiles.
-	P50 time.Duration
-	P99 time.Duration
+	// P50, P99 and P999 are request latency percentiles, read from a shared
+	// internal/obs log-linear histogram (bucket upper bounds, ≤6.25% high)
+	// instead of a sorted sample — the generator no longer retains every
+	// latency observation.
+	P50  time.Duration
+	P99  time.Duration
+	P999 time.Duration
 	// GroupCommits / GroupedOps echo the server's group-commit counters for
 	// the point (coalesced transactions and the single-key ops they
 	// carried) — the direct measure of how often the flush window and
@@ -290,7 +295,7 @@ func runDegradedPoint(cfg Config, p ServerParams, scenario string) (ServerPoint,
 		totalReq int64
 		totalErr int64
 		retries  int64
-		lats     []time.Duration
+		lath     = obs.NewHistogram(0)
 	)
 	for w := 0; w < clients; w++ {
 		wg.Add(1)
@@ -300,7 +305,6 @@ func runDegradedPoint(cfg Config, p ServerParams, scenario string) (ServerPoint,
 			defer cl.Close()
 			rng := workload.NewRNG(uint64(w)*2654435761 + 977)
 			var reqs, errs int64
-			local := make([]time.Duration, 0, 4096)
 			for {
 				now := time.Now()
 				if now.After(deadline) {
@@ -324,7 +328,7 @@ func runDegradedPoint(cfg Config, p ServerParams, scenario string) (ServerPoint,
 					errs++
 					continue
 				}
-				local = append(local, time.Since(start))
+				lath.Observe(int64(time.Since(start)))
 				reqs++
 			}
 			m := cl.Metrics()
@@ -332,12 +336,10 @@ func runDegradedPoint(cfg Config, p ServerParams, scenario string) (ServerPoint,
 			totalReq += reqs
 			totalErr += errs
 			retries += m.Retries + m.BusyRetries
-			lats = append(lats, local...)
 			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pt := ServerPoint{
 		Ordering:   core.WO.String(),
 		Clients:    clients,
@@ -348,9 +350,8 @@ func runDegradedPoint(cfg Config, p ServerParams, scenario string) (ServerPoint,
 		Retries:    retries,
 		ReqPerSec:  float64(totalReq) / cfg.Duration.Seconds(),
 		KeysPerSec: float64(totalReq) / cfg.Duration.Seconds(),
-		P50:        percentile(lats, 0.50),
-		P99:        percentile(lats, 0.99),
 	}
+	fillQuantiles(&pt, lath)
 	return pt, nil
 }
 
@@ -435,16 +436,16 @@ func readMixSchedule(ratio float64, seed uint64) ([][]byte, error) {
 // readMixRep runs one lock-step measurement window over an established
 // connection: write a burst, flush, drain the burst's responses (header
 // peek + discard — the generator never copies a payload), repeat. It
-// returns the completed-request rate over the measured window and the
-// per-burst round-trip samples (with pipeline = burst, a request's latency
-// in this loop is the burst RTT, so that is what the percentiles report).
-func readMixRep(bw *bufio.Writer, br *bufio.Reader, chunks [][]byte, warmup, win time.Duration) (float64, []time.Duration, error) {
+// returns the completed-request rate over the measured window and records
+// each burst's round trip into lath (with pipeline = burst, a request's
+// latency in this loop is the burst RTT, so that is what the percentiles
+// report).
+func readMixRep(bw *bufio.Writer, br *bufio.Reader, chunks [][]byte, lath *obs.Histogram, warmup, win time.Duration) (float64, error) {
 	warmupEnd := time.Now().Add(warmup)
 	deadline := warmupEnd.Add(win)
 	var (
 		reqs  int64
 		start time.Time
-		lats  = make([]time.Duration, 0, 4096)
 	)
 	measuring := false
 	for i := 0; ; i++ {
@@ -459,27 +460,27 @@ func readMixRep(bw *bufio.Writer, br *bufio.Reader, chunks [][]byte, warmup, win
 			start = now
 		}
 		if _, err := bw.Write(chunks[i%len(chunks)]); err != nil {
-			return 0, nil, err
+			return 0, err
 		}
 		if err := bw.Flush(); err != nil {
-			return 0, nil, err
+			return 0, err
 		}
 		for j := 0; j < readMixBurst; j++ {
 			hdr, err := br.Peek(4)
 			if err != nil {
-				return 0, nil, err
+				return 0, err
 			}
 			n := int(binary.BigEndian.Uint32(hdr))
 			if _, err := br.Discard(4 + n); err != nil {
-				return 0, nil, err
+				return 0, err
 			}
 		}
 		if measuring {
-			lats = append(lats, time.Since(start))
+			lath.Observe(int64(time.Since(start)))
 			reqs += readMixBurst
 		}
 	}
-	return float64(reqs) / win.Seconds(), lats, nil
+	return float64(reqs) / win.Seconds(), nil
 }
 
 // runReadMixPair measures one read ratio twice — fast path off and on — as
@@ -507,11 +508,12 @@ func runReadMixPair(cfg Config, p ServerParams, ratio float64) (ServerPoint, Ser
 		br     *bufio.Reader
 		addr   string
 		rates  []float64
-		lats   []time.Duration
+		lath   *obs.Histogram
 		chunks [][]byte
 	}
 	modes := [2]*mode{{fast: false}, {fast: true}}
 	for _, m := range modes {
+		m.lath = obs.NewHistogram(1)
 		srv, err := server.New(server.Config{
 			Ordering:         core.WO,
 			Shards:           p.Shards,
@@ -566,13 +568,12 @@ func runReadMixPair(cfg Config, p ServerParams, ratio float64) (ServerPoint, Ser
 			if rep == 0 {
 				warmup = 200 * time.Millisecond
 			}
-			rate, lats, err := readMixRep(m.bw, m.br, m.chunks, warmup, win)
+			rate, err := readMixRep(m.bw, m.br, m.chunks, m.lath, warmup, win)
 			if err != nil {
 				return ServerPoint{}, ServerPoint{}, err
 			}
 			cfg.progress("server readmix reads=%d%% fast=%v rep=%d rate=%.0f", int(ratio*100), m.fast, rep, rate)
 			m.rates = append(m.rates, rate)
-			m.lats = append(m.lats, lats...)
 		}
 	}
 
@@ -593,7 +594,6 @@ func runReadMixPair(cfg Config, p ServerParams, ratio float64) (ServerPoint, Ser
 
 	var pts [2]ServerPoint
 	for i, m := range modes {
-		sort.Slice(m.lats, func(a, b int) bool { return m.lats[a] < m.lats[b] })
 		pts[i] = ServerPoint{
 			Ordering:  core.WO.String(),
 			Clients:   1,
@@ -602,9 +602,8 @@ func runReadMixPair(cfg Config, p ServerParams, ratio float64) (ServerPoint, Ser
 			ReadRatio: ratio,
 			FastReads: m.fast,
 			ReqPerSec: m.rates[mid],
-			P50:       percentile(m.lats, 0.50),
-			P99:       percentile(m.lats, 0.99),
 		}
+		fillQuantiles(&pts[i], m.lath)
 		pts[i].KeysPerSec = pts[i].ReqPerSec
 		if st := statsOf(m.addr); st != nil {
 			pts[i].FastServed = st.Server.FastReads
@@ -673,7 +672,7 @@ func runServerConfigPoint(cfg Config, p ServerParams, scfg server.Config, client
 		mu       sync.Mutex
 		firstErr error
 		totalReq int64
-		lats     []time.Duration
+		lath     = obs.NewHistogram(0)
 	)
 	warmupEnd := time.Now().Add(warmup)
 	deadline := warmupEnd.Add(cfg.Duration)
@@ -687,7 +686,6 @@ func runServerConfigPoint(cfg Config, p ServerParams, scfg server.Config, client
 				rng := workload.NewRNG(uint64(w*64+g)*2654435761 + 12345)
 				var reqs int64
 				measuring := false
-				local := make([]time.Duration, 0, 4096)
 				cmds := make([]wire.Cmd, batch)
 				for {
 					now := time.Now()
@@ -726,13 +724,12 @@ func runServerConfigPoint(cfg Config, p ServerParams, scfg server.Config, client
 						return
 					}
 					if measuring {
-						local = append(local, time.Since(start))
+						lath.Observe(int64(time.Since(start)))
 						reqs++
 					}
 				}
 				mu.Lock()
 				totalReq += reqs
-				lats = append(lats, local...)
 				mu.Unlock()
 			}(w, g)
 		}
@@ -761,9 +758,7 @@ func runServerConfigPoint(cfg Config, p ServerParams, scfg server.Config, client
 			pt.WALRecords = st.WAL.AppendedRecords
 		}
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pt.P50 = percentile(lats, 0.50)
-	pt.P99 = percentile(lats, 0.99)
+	fillQuantiles(&pt, lath)
 	return pt, nil
 }
 
@@ -781,21 +776,20 @@ func statsOf(addr string) *wire.StatsReply {
 
 func benchKey(i int) string { return fmt.Sprintf("bench-key-%d", i) }
 
-// percentile returns the q-th latency percentile of a sorted sample
-// (nearest-rank; zero for an empty sample).
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
+// fillQuantiles reads a point's latency percentiles out of a measurement
+// histogram (nanosecond observations).
+func fillQuantiles(pt *ServerPoint, h *obs.Histogram) {
+	s := h.Snapshot()
+	pt.P50 = time.Duration(s.Quantile(0.50))
+	pt.P99 = time.Duration(s.Quantile(0.99))
+	pt.P999 = time.Duration(s.Quantile(0.999))
 }
 
 // Print renders the sweep: WO vs SO serving throughput and tail latency,
 // with the executor × flush-window tuning grid at the bottom.
 func (r *ServerResult) Print(w io.Writer) {
 	fmt.Fprintln(w, "wtfd end-to-end: MULTI fan-out under WO vs SO futures (closed loop, loopback TCP)")
-	t := newTable("ordering", "clients", "batch", "pipe", "execs", "window", "fsync", "req/s", "keys/s", "p50", "p99", "grouped")
+	t := newTable("ordering", "clients", "batch", "pipe", "execs", "window", "fsync", "req/s", "keys/s", "p50", "p99", "p999", "grouped")
 	var degraded, readmix []ServerPoint
 	for _, pt := range r.Points {
 		if pt.Scenario != "" {
@@ -821,12 +815,13 @@ func (r *ServerResult) Print(w io.Writer) {
 		t.add(pt.Ordering, fmt.Sprint(pt.Clients), fmt.Sprint(pt.Batch), fmt.Sprint(pt.Pipeline),
 			execs, (time.Duration(pt.FlushWindowUS) * time.Microsecond).String(), fsync,
 			fmt.Sprintf("%.0f", pt.ReqPerSec), fmt.Sprintf("%.0f", pt.KeysPerSec),
-			pt.P50.Round(time.Microsecond).String(), pt.P99.Round(time.Microsecond).String(), grouped)
+			pt.P50.Round(time.Microsecond).String(), pt.P99.Round(time.Microsecond).String(),
+			pt.P999.Round(time.Microsecond).String(), grouped)
 	}
 	t.print(w)
 	if len(readmix) > 0 {
 		fmt.Fprintln(w, "\nread-ratio mix: lock-free GET fast path off vs on (batch 1, heaviest single-key shape)")
-		rt := newTable("reads", "fast", "clients", "pipe", "req/s", "p50", "p99", "fast-served")
+		rt := newTable("reads", "fast", "clients", "pipe", "req/s", "p50", "p99", "p999", "fast-served")
 		for _, pt := range readmix {
 			fast := "off"
 			if pt.FastReads {
@@ -836,17 +831,19 @@ func (r *ServerResult) Print(w io.Writer) {
 				fmt.Sprint(pt.Clients), fmt.Sprint(pt.Pipeline),
 				fmt.Sprintf("%.0f", pt.ReqPerSec),
 				pt.P50.Round(time.Microsecond).String(), pt.P99.Round(time.Microsecond).String(),
+				pt.P999.Round(time.Microsecond).String(),
 				fmt.Sprint(pt.FastServed))
 		}
 		rt.print(w)
 	}
 	if len(degraded) > 0 {
 		fmt.Fprintln(w, "\ndegraded network: retrying clients through chaos transports (completed req/s; errors = ops that failed all retries)")
-		dt := newTable("scenario", "clients", "req/s", "p50", "p99", "errors", "retries")
+		dt := newTable("scenario", "clients", "req/s", "p50", "p99", "p999", "errors", "retries")
 		for _, pt := range degraded {
 			dt.add(pt.Scenario, fmt.Sprint(pt.Clients),
 				fmt.Sprintf("%.0f", pt.ReqPerSec),
 				pt.P50.Round(time.Microsecond).String(), pt.P99.Round(time.Microsecond).String(),
+				pt.P999.Round(time.Microsecond).String(),
 				fmt.Sprint(pt.Errors), fmt.Sprint(pt.Retries))
 		}
 		dt.print(w)

@@ -151,13 +151,16 @@ func (s *STM) commitWrites(t *Txn) error {
 		// peers.
 		if t.hasReads() {
 			s.helpUpTo(last, nil)
-			if !t.validateReads() {
+			if bad := t.validateReads(); bad != nil {
 				if last.next.Load() != nil {
 					// A request enqueued after `last` may already be writing
 					// back; the newer version we saw might belong to it, in
 					// which case it is ordered after us. Re-run against the
 					// longer list instead of declaring a conflict.
 					continue
+				}
+				if h := s.conflictHook; h != nil {
+					h(bad)
 				}
 				return ErrConflict
 			}

@@ -1,0 +1,48 @@
+package mvstm
+
+import (
+	"errors"
+	"testing"
+)
+
+// The conflict hook must fire exactly once per failed validation, with the
+// stale box that killed the transaction, and never on success.
+func TestConflictHookAttribution(t *testing.T) {
+	s := New()
+	var got []*VBox
+	s.SetConflictHook(func(b *VBox) { got = append(got, b) })
+
+	loser := s.NewBoxNamed("shard3.b7", 0)
+	other := s.NewBoxNamed("shard1.b2", 0)
+
+	// Clean commit: no hook calls.
+	tx := s.Begin()
+	tx.Read(other)
+	tx.Write(other, 1)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("hook fired on clean commit: %v", got)
+	}
+
+	// First-committer-wins race: tx2 read loser, a peer overwrites it,
+	// tx2's commit must abort and attribute the conflict to loser.
+	tx2 := s.Begin()
+	tx2.Read(loser)
+	peer := s.Begin()
+	peer.Write(loser, 42)
+	if err := peer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Write(other, 2)
+	if err := tx2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("commit err = %v, want ErrConflict", err)
+	}
+	if len(got) != 1 || got[0] != loser {
+		t.Fatalf("hook calls = %v, want exactly [loser=%p]", got, loser)
+	}
+	if got[0].Name != "shard3.b7" {
+		t.Fatalf("attributed box name = %q", got[0].Name)
+	}
+}

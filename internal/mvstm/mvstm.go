@@ -145,6 +145,12 @@ type STM struct {
 	// scheduler preemption points (conformance harness). Set once via
 	// SetSchedHook before the instance is shared.
 	hook sched.Hook
+	// conflictHook, when non-nil, is called with the first stale read-set
+	// box each time a commit fails validation (abort attribution,
+	// internal/obs). Set once via SetConflictHook before the instance is
+	// shared; it runs on the committing goroutine and must be cheap and
+	// non-blocking.
+	conflictHook func(*VBox)
 }
 
 // New returns an empty STM with the clock at zero.
@@ -169,6 +175,12 @@ func (s *STM) Stats() *Stats { return &s.stats }
 // configuration. The commit pipeline itself needs no Park delegation: helping
 // guarantees any single runnable committer finishes every enqueued request.
 func (s *STM) SetSchedHook(h sched.Hook) { s.hook = h }
+
+// SetConflictHook installs an abort-attribution callback invoked with the
+// first stale box whenever read-set validation fails a commit. Like
+// SetSchedHook it must be installed before the STM is shared; the callback
+// runs inline on the committing goroutine.
+func (s *STM) SetConflictHook(h func(*VBox)) { s.conflictHook = h }
 
 // Clock returns the current global commit clock.
 func (s *STM) Clock() int64 { return s.clock.Load() }

@@ -41,21 +41,23 @@ func (t *Txn) noteRead(b *VBox) {
 	t.readsMap[b] = struct{}{}
 }
 
-// validateReads reports whether every box in the read set is still current
-// at the transaction's snapshot: no box may carry a committed version newer
-// than snap (first committer wins).
-func (t *Txn) validateReads() bool {
+// validateReads checks that every box in the read set is still current at
+// the transaction's snapshot: no box may carry a committed version newer
+// than snap (first committer wins). It returns nil when the read set is
+// valid, or the first stale box found — the box whose newer committed
+// version kills this transaction — for abort attribution.
+func (t *Txn) validateReads() *VBox {
 	for i := 0; i < t.readsN; i++ {
-		if t.readsInline[i].head.Load().TS > t.snap {
-			return false
+		if b := t.readsInline[i]; b.head.Load().TS > t.snap {
+			return b
 		}
 	}
 	for b := range t.readsMap {
 		if b.head.Load().TS > t.snap {
-			return false
+			return b
 		}
 	}
-	return true
+	return nil
 }
 
 // hasReads reports whether the read set is non-empty.

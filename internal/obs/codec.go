@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Compact wire encoding for histogram snapshots, carried inside STATS
+// replies. The format is sparse — only non-empty buckets are written —
+// so a typical latency histogram costs tens of bytes:
+//
+//	byte    version (histWireV1)
+//	byte    subBits (layout check; decoders reject other layouts)
+//	uvarint pair count
+//	pairs:  uvarint bucket-index delta (first pair: absolute index,
+//	        subsequent: gap to previous index, so indexes are strictly
+//	        increasing), uvarint count
+//	varint  sum (zigzag)
+const histWireV1 = 1
+
+var (
+	errHistVersion = errors.New("obs: unknown histogram encoding version")
+	errHistLayout  = errors.New("obs: histogram bucket layout mismatch")
+	errHistCorrupt = errors.New("obs: corrupt histogram encoding")
+)
+
+// AppendHist appends the wire encoding of s to dst and returns the
+// extended slice.
+func AppendHist(dst []byte, s HistSnapshot) []byte {
+	dst = append(dst, histWireV1, subBits)
+	pairs := 0
+	for _, c := range s.Counts {
+		if c != 0 {
+			pairs++
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(pairs))
+	prev := -1
+	for b, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		dst = binary.AppendUvarint(dst, uint64(b-prev-1))
+		dst = binary.AppendUvarint(dst, c)
+		prev = b
+	}
+	dst = binary.AppendVarint(dst, s.Sum)
+	return dst
+}
+
+// DecodeHist parses an AppendHist encoding, returning the snapshot and
+// the number of bytes consumed. The Counts slice always has NumBuckets
+// entries; encodings addressing buckets beyond that are rejected.
+func DecodeHist(data []byte) (HistSnapshot, int, error) {
+	var s HistSnapshot
+	if len(data) < 2 {
+		return s, 0, errHistCorrupt
+	}
+	if data[0] != histWireV1 {
+		return s, 0, errHistVersion
+	}
+	if data[1] != subBits {
+		return s, 0, errHistLayout
+	}
+	off := 2
+	pairs, n := binary.Uvarint(data[off:])
+	if n <= 0 || pairs > NumBuckets {
+		return s, 0, errHistCorrupt
+	}
+	off += n
+	s.Counts = make([]uint64, NumBuckets)
+	idx := -1
+	for i := uint64(0); i < pairs; i++ {
+		gap, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return HistSnapshot{}, 0, errHistCorrupt
+		}
+		off += n
+		c, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return HistSnapshot{}, 0, errHistCorrupt
+		}
+		off += n
+		next := int64(idx) + 1 + int64(gap)
+		if next >= NumBuckets {
+			return HistSnapshot{}, 0, errHistCorrupt
+		}
+		idx = int(next)
+		s.Counts[idx] = c
+		if s.Count+c < s.Count {
+			return HistSnapshot{}, 0, errHistCorrupt // count overflow
+		}
+		s.Count += c
+	}
+	sum, n := binary.Varint(data[off:])
+	if n <= 0 {
+		return HistSnapshot{}, 0, errHistCorrupt
+	}
+	off += n
+	s.Sum = sum
+	return s, off, nil
+}

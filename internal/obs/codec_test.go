@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestHistCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram(2)
+		n := rng.Intn(5000)
+		for i := 0; i < n; i++ {
+			h.Observe(rng.Int63n(1 << uint(1+rng.Intn(40))))
+		}
+		want := h.Snapshot()
+		enc := AppendHist(nil, want)
+		got, used, err := DecodeHist(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if used != len(enc) {
+			t.Fatalf("consumed %d of %d bytes", used, len(enc))
+		}
+		if got.Count != want.Count || got.Sum != want.Sum {
+			t.Fatalf("count/sum mismatch: got %d/%d want %d/%d",
+				got.Count, got.Sum, want.Count, want.Sum)
+		}
+		for b := range want.Counts {
+			if got.Counts[b] != want.Counts[b] {
+				t.Fatalf("bucket %d: got %d want %d", b, got.Counts[b], want.Counts[b])
+			}
+		}
+	}
+}
+
+func TestHistCodecTrailingData(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(123)
+	enc := AppendHist(nil, h.Snapshot())
+	enc = append(enc, 0xAA, 0xBB)
+	_, used, err := DecodeHist(enc)
+	if err != nil {
+		t.Fatalf("decode with trailer: %v", err)
+	}
+	if used != len(enc)-2 {
+		t.Fatalf("consumed %d, want %d", used, len(enc)-2)
+	}
+}
+
+func TestHistCodecRejects(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{histWireV1},
+		{99, subBits, 0, 0},      // bad version
+		{histWireV1, 7, 0, 0},    // bad layout
+		{histWireV1, subBits},    // missing pair count
+		{histWireV1, subBits, 1}, // truncated pair
+		// pair addressing a bucket beyond NumBuckets
+		append([]byte{histWireV1, subBits, 1}, 0xFF, 0xFF, 0x7F, 1, 0),
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeHist(c); err == nil {
+			t.Fatalf("case %d (% x): expected error", i, c)
+		}
+	}
+}
+
+// FuzzDecodeHist is the fuzz target for the STATS histogram wire
+// encoding: arbitrary bytes must never panic, and anything that decodes
+// must re-encode canonically to an equal snapshot.
+func FuzzDecodeHist(f *testing.F) {
+	h := NewHistogram(1)
+	for _, v := range []int64{0, 1, 15, 16, 17, 1023, 1 << 20, 1 << 42, 1 << 60} {
+		h.Observe(v)
+	}
+	f.Add(AppendHist(nil, h.Snapshot()))
+	f.Add(AppendHist(nil, HistSnapshot{Counts: make([]uint64, NumBuckets)}))
+	f.Add([]byte{histWireV1, subBits, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, used, err := DecodeHist(data)
+		if err != nil {
+			return
+		}
+		if used > len(data) {
+			t.Fatalf("consumed %d > input %d", used, len(data))
+		}
+		enc := AppendHist(nil, s)
+		s2, _, err := DecodeHist(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if s2.Count != s.Count || s2.Sum != s.Sum || !bytes.Equal(AppendHist(nil, s2), enc) {
+			t.Fatalf("canonical re-encode not stable")
+		}
+	})
+}

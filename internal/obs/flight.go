@@ -1,0 +1,72 @@
+package obs
+
+import "sync"
+
+// FlightRecord is one slow request captured by the flight recorder: its
+// per-stage durations, identity (op, hashed key, shard) and outcome. Key
+// bytes themselves are never retained — only a hash — so dumps are safe
+// to ship off-box.
+type FlightRecord struct {
+	Wall    int64  `json:"wall_unix_ns"` // wall-clock completion time
+	Op      string `json:"op"`
+	KeyHash uint32 `json:"key_hash"`
+	Shard   int    `json:"shard"`
+	Outcome string `json:"outcome"`
+	// Stage durations, nanoseconds. Stages a request did not pass
+	// through (e.g. WAL sync with durability off) are zero.
+	DecodeNS int64 `json:"decode_ns"`
+	QueueNS  int64 `json:"queue_ns"`
+	ExecNS   int64 `json:"exec_ns"`
+	SyncNS   int64 `json:"sync_ns"`
+	FlushNS  int64 `json:"flush_ns"`
+	TotalNS  int64 `json:"total_ns"`
+}
+
+// Flight is a fixed-size ring of the most recent slow requests. Recording
+// takes a mutex: only requests over the slow threshold reach it, so the
+// lock is uncontended in practice and keeps dumps torn-record free.
+type Flight struct {
+	mu    sync.Mutex
+	ring  []FlightRecord
+	next  int
+	total uint64
+}
+
+// NewFlight creates a recorder keeping the last size records (min 1).
+func NewFlight(size int) *Flight {
+	if size < 1 {
+		size = 1
+	}
+	return &Flight{ring: make([]FlightRecord, 0, size)}
+}
+
+// Record stores r, evicting the oldest record once the ring is full.
+func (f *Flight) Record(r FlightRecord) {
+	f.mu.Lock()
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, r)
+	} else {
+		f.ring[f.next] = r
+		f.next = (f.next + 1) % cap(f.ring)
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Total returns the number of records ever taken (including evicted ones).
+func (f *Flight) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Snapshot returns the retained records, newest first.
+func (f *Flight) Snapshot() []FlightRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightRecord, 0, len(f.ring))
+	for i := 1; i <= len(f.ring); i++ {
+		out = append(out, f.ring[(f.next+len(f.ring)-i)%len(f.ring)])
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFlightRingEviction(t *testing.T) {
+	f := NewFlight(4)
+	for i := 1; i <= 10; i++ {
+		f.Record(FlightRecord{TotalNS: int64(i)})
+	}
+	if f.Total() != 10 {
+		t.Fatalf("total = %d, want 10", f.Total())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("len = %d, want 4", len(snap))
+	}
+	// Newest first: 10, 9, 8, 7.
+	for i, want := range []int64{10, 9, 8, 7} {
+		if snap[i].TotalNS != want {
+			t.Fatalf("snap[%d].TotalNS = %d, want %d", i, snap[i].TotalNS, want)
+		}
+	}
+}
+
+func TestFlightPartialFill(t *testing.T) {
+	f := NewFlight(8)
+	f.Record(FlightRecord{TotalNS: 1})
+	f.Record(FlightRecord{TotalNS: 2})
+	snap := f.Snapshot()
+	if len(snap) != 2 || snap[0].TotalNS != 2 || snap[1].TotalNS != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlight(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Record(FlightRecord{TotalNS: 1})
+				f.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Total() != 4000 {
+		t.Fatalf("total = %d, want 4000", f.Total())
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Log-linear bucket layout, HDR-histogram style. Values 0..15 get exact
+// buckets; above that each power-of-two octave is split into 16 linear
+// sub-buckets, so the relative quantization error is bounded by
+// 1/16 = 6.25% everywhere. With maxGroup = 39 the histogram spans
+// [0, 2^43) — about 2.4 hours when values are nanoseconds — in 640
+// buckets; larger values clamp into the last bucket.
+const (
+	subBits    = 4
+	subCount   = 1 << subBits // 16
+	maxGroup   = 39
+	NumBuckets = (maxGroup + 1) * subCount // 640
+)
+
+// bucketOf maps a value to its bucket index. Negative values count as 0.
+func bucketOf(v int64) int {
+	if v < subCount {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	msb := 63 - bits.LeadingZeros64(uint64(v))
+	g := msb - subBits + 1
+	if g > maxGroup {
+		return NumBuckets - 1
+	}
+	sub := int(uint64(v)>>uint(msb-subBits)) & (subCount - 1)
+	return g*subCount + sub
+}
+
+// BucketLow returns the smallest value that lands in bucket i.
+func BucketLow(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	g := i / subCount
+	sub := i % subCount
+	return int64(subCount+sub) << uint(g-1)
+}
+
+// BucketHigh returns the largest value that lands in bucket i (ignoring
+// the clamp into the final bucket).
+func BucketHigh(i int) int64 { return BucketLow(i+1) - 1 }
+
+// histStripe is one shard of a histogram's counts. Stripes are written by
+// different goroutines to keep the record path contention-free; they are
+// summed at snapshot time.
+type histStripe struct {
+	counts [NumBuckets]atomic.Uint64
+	sum    atomic.Int64
+}
+
+// Histogram is a mergeable, striped log-linear histogram. The zero value
+// is not usable; construct via a Registry or NewHistogram.
+type Histogram struct {
+	desc    desc
+	scale   float64 // multiplier applied at exposition (1e-9 for ns → s)
+	stripes []histStripe
+	mask    uint32
+}
+
+// defaultStripes picks a power-of-two stripe count sized to the machine,
+// capped so a histogram stays a few tens of KB.
+func defaultStripes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewHistogram builds a standalone histogram (no registry). stripes is
+// rounded up to a power of two; <= 0 selects a machine-sized default.
+func NewHistogram(stripes int) *Histogram {
+	if stripes <= 0 {
+		stripes = defaultStripes()
+	}
+	p := 1
+	for p < stripes {
+		p <<= 1
+	}
+	return &Histogram{scale: 1, stripes: make([]histStripe, p), mask: uint32(p - 1)}
+}
+
+// stripeHint derives a cheap stripe selector from the goroutine's stack
+// address. Stacks of concurrently running goroutines live in different
+// spans, so this spreads writers without any per-goroutine state. The
+// value is only a load-balancing hint; if the stack moves the writer just
+// switches stripes, which is harmless because stripes are summed on read.
+func stripeHint() uint32 {
+	var b byte
+	p := uintptr(unsafe.Pointer(&b))
+	return uint32(p>>10) ^ uint32(p>>20)
+}
+
+// Observe records one value. Lock-free, 0 allocs.
+func (h *Histogram) Observe(v int64) { h.ObserveStripe(stripeHint(), v) }
+
+// ObserveStripe records one value into the stripe selected by hint.
+// Callers with a natural affinity index (connection id, executor id)
+// should pass it to avoid even the stack-address computation.
+func (h *Histogram) ObserveStripe(hint uint32, v int64) {
+	st := &h.stripes[hint&h.mask]
+	st.counts[bucketOf(v)].Add(1)
+	st.sum.Add(v)
+}
+
+// HistSnapshot is a merged, point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Counts []uint64 // indexed by bucket; len NumBuckets (or decoded size)
+	Count  uint64   // total observations
+	Sum    int64    // sum of raw values
+}
+
+// Snapshot merges all stripes. Counts is freshly allocated; callers may
+// keep it.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Counts = make([]uint64, NumBuckets)
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		s.Sum += st.sum.Load()
+		for b := range st.counts {
+			c := st.counts[b].Load()
+			s.Counts[b] += c
+			s.Count += c
+		}
+	}
+	return s
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// high edge of the bucket holding the ceil(q*Count)-th smallest
+// observation. The true value is within one sub-bucket width below the
+// returned bound (<= 6.25% relative error). Returns 0 for an empty
+// snapshot.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for b, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return BucketHigh(b)
+		}
+	}
+	return BucketHigh(len(s.Counts) - 1)
+}
+
+// Max returns the high edge of the highest non-empty bucket, 0 if empty.
+func (s *HistSnapshot) Max() int64 {
+	for b := len(s.Counts) - 1; b >= 0; b-- {
+		if s.Counts[b] != 0 {
+			return BucketHigh(b)
+		}
+	}
+	return 0
+}
+
+// Mean returns the arithmetic mean of raw observed values, 0 if empty.
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// Every bucket's low and high edges must map back to that bucket, and
+// consecutive buckets must tile the value space with no gaps or overlaps.
+func TestBucketBoundaryRoundTrip(t *testing.T) {
+	for i := 0; i < NumBuckets; i++ {
+		lo, hi := BucketLow(i), BucketHigh(i)
+		if lo > hi {
+			t.Fatalf("bucket %d: low %d > high %d", i, lo, hi)
+		}
+		if got := bucketOf(lo); got != i {
+			t.Fatalf("bucketOf(BucketLow(%d)=%d) = %d", i, lo, got)
+		}
+		// The final bucket also absorbs clamped values, so its high
+		// edge maps to itself trivially; check the others strictly.
+		if i < NumBuckets-1 {
+			if got := bucketOf(hi); got != i {
+				t.Fatalf("bucketOf(BucketHigh(%d)=%d) = %d", i, hi, got)
+			}
+			if BucketLow(i+1) != hi+1 {
+				t.Fatalf("gap between bucket %d (high %d) and %d (low %d)",
+					i, hi, i+1, BucketLow(i+1))
+			}
+		}
+	}
+	if bucketOf(-5) != 0 {
+		t.Fatalf("negative values must clamp to bucket 0")
+	}
+	if got := bucketOf(1 << 50); got != NumBuckets-1 {
+		t.Fatalf("huge value bucket = %d, want %d", got, NumBuckets-1)
+	}
+}
+
+// Relative bucket width must stay within the advertised 6.25% everywhere
+// past the exact range.
+func TestBucketRelativeError(t *testing.T) {
+	for i := subCount; i < NumBuckets-1; i++ {
+		lo, hi := BucketLow(i), BucketHigh(i)
+		if width := hi - lo + 1; float64(width) > float64(lo)/subCount+1 {
+			t.Fatalf("bucket %d: width %d too wide for low %d", i, width, lo)
+		}
+	}
+}
+
+// Concurrent recording from many goroutines must lose no observations and
+// must merge to exact count and sum. Run with -race this also exercises
+// the stripe publication path.
+func TestConcurrentRecordMerge(t *testing.T) {
+	h := NewHistogram(4)
+	const gs, per = 8, 5000
+	var wg sync.WaitGroup
+	var wantSum int64
+	for g := 0; g < gs; g++ {
+		wantSum += int64(per * g)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g))
+				h.ObserveStripe(uint32(i), int64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != gs*per*2 {
+		t.Fatalf("count = %d, want %d", s.Count, gs*per*2)
+	}
+	if s.Sum != 2*wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, 2*wantSum)
+	}
+	for g := 0; g < gs; g++ {
+		if c := s.Counts[bucketOf(int64(g))]; c != per*2 {
+			t.Fatalf("bucket for %d: count %d, want %d", g, c, per*2)
+		}
+	}
+}
+
+// Quantile must return the high edge of the bucket containing the exact
+// nearest-rank percentile: exact <= Quantile(q) <= exact + exact/16 + 1.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		h := NewHistogram(2)
+		n := 2000 + rng.Intn(3000)
+		vals := make([]int64, n)
+		for i := range vals {
+			// Log-uniform spread: exercises many octaves.
+			v := int64(1) << uint(rng.Intn(30))
+			v += rng.Int63n(v + 1)
+			vals[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := h.Snapshot()
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			rank := int(q * float64(n))
+			if float64(rank) < q*float64(n) {
+				rank++
+			}
+			if rank < 1 {
+				rank = 1
+			}
+			exact := vals[rank-1]
+			got := s.Quantile(q)
+			if got < exact {
+				t.Fatalf("q=%v: got %d < exact %d", q, got, exact)
+			}
+			if maxErr := exact + exact/subCount + 1; got > maxErr {
+				t.Fatalf("q=%v: got %d beyond error bound %d (exact %d)", q, got, maxErr, exact)
+			}
+		}
+	}
+}
+
+func TestQuantileEmptyAndMax(t *testing.T) {
+	h := NewHistogram(1)
+	s := h.Snapshot()
+	if s.Quantile(0.5) != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot must report zeros")
+	}
+	h.Observe(100)
+	s = h.Snapshot()
+	if m := s.Max(); m < 100 || m > 100+100/subCount {
+		t.Fatalf("max = %d, want ~100", m)
+	}
+	if s.Mean() != 100 {
+		t.Fatalf("mean = %v, want 100", s.Mean())
+	}
+}
+
+// The hot-path contract: one record is lock-free and allocation-free.
+// ci.sh gates this benchmark at 0 allocs/op.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram(0)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v = (v*2862933555777941757 + 3037000493) & 0xffffff
+		}
+	})
+}
+
+func BenchmarkHistogramObserveStripe(b *testing.B) {
+	h := NewHistogram(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveStripe(3, int64(i)&0xfffff)
+	}
+}

@@ -1,0 +1,27 @@
+// Package obs is wtfd's telemetry layer: a dependency-free metrics
+// registry with monotonic counters, gauges and log-linear (HDR-style)
+// latency histograms, plus a fixed-size flight recorder for slow requests.
+//
+// The design goal is a record path cheap enough to sit inside the server's
+// lock-free fast-read loop (~33ns/op, 0 allocs): histograms keep per-stripe
+// bucket arrays of atomic counters, so Observe is one bucket computation and
+// one atomic add with no locks and no allocation. Stripes are merged only at
+// snapshot time (scrapes, STATS replies), which is the cold path.
+//
+// Time is handled as int64 nanoseconds relative to a package epoch
+// (see Now), so hot structs store a single integer instead of a time.Time.
+package obs
+
+import "time"
+
+// epoch anchors Now. Using time.Since keeps readings on the monotonic
+// clock: Now is immune to wall-clock steps and never allocates.
+var epoch = time.Now()
+
+// Now returns monotonic nanoseconds since process start (well, package
+// init). Differences of Now values are durations in nanoseconds.
+func Now() int64 { return int64(time.Since(epoch)) }
+
+// WallOf converts a Now-style timestamp back to wall-clock time, for
+// human-facing dumps (flight recorder entries, SIGQUIT reports).
+func WallOf(t int64) time.Time { return epoch.Add(time.Duration(t)) }

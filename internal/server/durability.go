@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"wtftm"
+	"wtftm/internal/obs"
 	"wtftm/internal/persist"
 	"wtftm/internal/tstruct"
 	"wtftm/internal/wal"
@@ -57,6 +58,7 @@ import (
 type durability struct {
 	mgr    *persist.Manager
 	policy wal.SyncPolicy
+	srv    *Server // backref for metrics (srv.m) and the flight recorder
 
 	ackCh    chan *ackBatch // non-nil only under SyncGroup
 	ackDelay time.Duration  // commit-delay window (Config.CommitDelay)
@@ -74,6 +76,7 @@ type durability struct {
 type ackBatch struct {
 	tasks  []task
 	shards []int
+	t0     int64 // obs.Now() at hand-off; sync stage = fsync done − t0
 }
 
 // asyncAck reports whether write acks ride the ack daemon.
@@ -100,6 +103,7 @@ func (d *durability) deferAck(sc *durScratch, group []task) bool {
 		t.c.retire(t.wshard)
 	}
 	b.shards = append(b.shards[:0], sc.appended...)
+	b.t0 = obs.Now()
 	d.ackCh <- b
 	return true
 }
@@ -172,11 +176,24 @@ func (d *durability) ackLoop() {
 		if err != nil {
 			failRes = d.failResult(err)
 		}
+		// Deferred acks' sync stage is the whole hand-off→durable wait (the
+		// commit-delay window plus the shared fsync), attributed to the group
+		// op class like the rest of the ack-daemon path.
+		m := d.srv.m
+		synced := obs.Now()
 		for _, b := range batch {
+			m.stage[stSync][opcGroup].Observe(synced - b.t0)
 			for i := range b.tasks {
 				t := b.tasks[i]
 				if err != nil {
 					t.resp.Result = failRes
+				}
+				if m.slowNS > 0 && t.enq > 0 {
+					if total := t.dec + (synced - t.enq); total >= m.slowNS {
+						kh, sh := d.srv.flightKey(t.req)
+						m.recordFlight(t.req.Op, kh, sh, t.resp.Result.Status,
+							t.dec, 0, 0, synced-b.t0, 0, total)
+					}
 				}
 				wire.ReleaseRequest(t.req)
 				t.c.send(t.resp)
@@ -187,6 +204,7 @@ func (d *durability) ackLoop() {
 			b.shards = b.shards[:0]
 			d.ackPool.Put(b)
 		}
+		m.stage[stFlush][opcGroup].Observe(obs.Now() - synced)
 		clear(batch)
 	}
 }
@@ -247,7 +265,7 @@ func insertShard(list []int, sh int) []int {
 // restore + WAL replay through the recoverer's batched transactions) and
 // returns the serving-path handle. Called from New before any traffic.
 func newDurability(s *Server, cfg Config) (*durability, error) {
-	d := &durability{policy: cfg.Fsync}
+	d := &durability{policy: cfg.Fsync, srv: s}
 	d.scratch.New = func() any { return new(durScratch) }
 	d.ackPool.New = func() any { return new(ackBatch) }
 	rec := &recoverer{s: s}
@@ -384,6 +402,7 @@ func appendOp(buf []byte, cmd *wire.Cmd) []byte {
 }
 
 func (d *durability) noteBatchOps(n int) {
+	d.srv.m.batchOps.Observe(int64(n))
 	for {
 		cur := d.batchOpsHWM.Load()
 		if int64(n) <= cur || d.batchOpsHWM.CompareAndSwap(cur, int64(n)) {
@@ -427,28 +446,33 @@ func (d *durability) syncShards(shards []int) error {
 	if len(shards) == 0 {
 		return nil
 	}
+	t0 := obs.Now()
+	var firstErr error
 	if len(shards) == 1 {
-		return d.mgr.Sync(shards[0])
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	for _, sh := range shards {
-		wg.Add(1)
-		go func(sh int) {
-			defer wg.Done()
-			if err := d.mgr.Sync(sh); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
+		firstErr = d.mgr.Sync(shards[0])
+	} else {
+		var (
+			wg sync.WaitGroup
+			mu sync.Mutex
+		)
+		for _, sh := range shards {
+			wg.Add(1)
+			go func(sh int) {
+				defer wg.Done()
+				if err := d.mgr.Sync(sh); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
 				}
-				mu.Unlock()
-			}
-		}(sh)
+			}(sh)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	// One observation per barrier: multi-shard fans out in parallel, so the
+	// barrier's latency is one fsync regardless of shard count.
+	d.srv.m.fsyncLat.Observe(obs.Now() - t0)
 	return firstErr
 }
 
@@ -460,7 +484,7 @@ func (d *durability) failResult(err error) wire.Result {
 
 // executeDurableSolo is the durable path for one single-key write: commit
 // lock → STM transaction → WAL append → unlock → sync barrier → ack.
-func (s *Server) executeDurableSolo(req *wire.Request) wire.Result {
+func (s *Server) executeDurableSolo(req *wire.Request, sr *stageRec) wire.Result {
 	d := s.dur
 	sh := s.store.shardOf(req.Cmd.Key)
 	sc := d.scratch.Get().(*durScratch)
@@ -483,7 +507,11 @@ func (s *Server) executeDurableSolo(req *wire.Request) wire.Result {
 	d.mgr.Unlock(sh)
 
 	if durErr == nil && len(sc.appended) > 0 && d.policy == wal.SyncGroup {
+		t0 := obs.Now()
 		durErr = d.mgr.Sync(sh)
+		ns := obs.Now() - t0
+		s.m.fsyncLat.Observe(ns)
+		sr.addSync(ns)
 	}
 	d.scratch.Put(sc)
 	switch {

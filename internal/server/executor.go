@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"wtftm"
+	"wtftm/internal/obs"
 	"wtftm/internal/wire"
 )
 
@@ -127,12 +128,43 @@ func (e *executor) admit(t task, ok bool) bool {
 }
 
 // executeTask runs one request solo: acquire a response, execute, hand the
-// response to the write loop and recycle the request.
+// response to the write loop and recycle the request. Stage accounting
+// (metrics.go): queue = admission→here, exec = the execution span minus
+// its internal durability barrier, sync = that barrier, flush = the
+// write-loop hand-off. Tasks with no admission timestamp (tests invoking
+// the executor path directly) skip the queue stage and the recorder.
 func (s *Server) executeTask(t task) {
+	m := s.m
+	opc := opClass(t.req.Op)
+	start := obs.Now()
+	if t.enq > 0 {
+		m.stage[stQueue][opc].Observe(start - t.enq)
+	}
 	resp := wire.AcquireResponse()
-	s.execute(t.req, resp)
+	var sr stageRec
+	s.executeSR(t.req, resp, &sr)
+	execEnd := obs.Now()
+	m.stage[stExec][opc].Observe(execEnd - start - sr.syncNS)
+	if sr.syncNS > 0 {
+		m.stage[stSync][opc].Observe(sr.syncNS)
+	}
+	// Capture the flight-recorder identity before the request is recycled;
+	// whether the request was slow is only known after the hand-off.
+	var kh uint32
+	shard := -1
+	slowable := m.slowNS > 0 && t.enq > 0
+	if slowable {
+		kh, shard = s.flightKey(t.req)
+	}
+	op, st := t.req.Op, resp.Result.Status
 	wire.ReleaseRequest(t.req)
 	t.c.send(resp)
+	end := obs.Now()
+	m.stage[stFlush][opc].Observe(end - execEnd)
+	if total := t.dec + (end - t.enq); slowable && total >= m.slowNS {
+		m.recordFlight(op, kh, shard, st,
+			t.dec, start-t.enq, execEnd-start-sr.syncNS, sr.syncNS, end-execEnd, total)
+	}
 	t.c.retire(t.wshard)
 }
 
@@ -155,6 +187,18 @@ func (s *Server) executeGroup(group []task) {
 			return
 		}
 	}
+	// Group stage accounting: queue wait is per member (each op waited its
+	// own time), but exec/sync/flush are attributed once under the synthetic
+	// "group" op class — the coalesced transaction does the work for all
+	// members at once, and splitting its cost per member would be fiction.
+	m := s.m
+	start := obs.Now()
+	for i := range group {
+		if group[i].enq > 0 {
+			m.stage[stQueue][opClass(group[i].req.Op)].Observe(start - group[i].enq)
+		}
+	}
+	m.groupSize.Observe(int64(len(group)))
 	if s.cfg.execHook != nil {
 		for i := range group {
 			s.cfg.execHook(group[i].req)
@@ -191,15 +235,21 @@ func (s *Server) executeGroup(group []task) {
 			durErr = s.dur.appendGroup(dsc, group)
 		}
 		s.dur.unlockShards(dsc)
+	}
+	execEnd := obs.Now()
+	m.stage[stExec][opcGroup].Observe(execEnd - start)
+	if dsc != nil {
 		if err == nil && durErr == nil && s.dur.deferAck(dsc, group) {
 			// The ack daemon owns the write acks now: reads went out
 			// already, and the writes are released after the daemon's next
-			// fsync (batched with whatever else has accumulated).
+			// fsync (batched with whatever else has accumulated). The daemon
+			// records the sync and flush stages for this batch.
 			s.dur.release(dsc)
 			return
 		}
 		if durErr == nil && err == nil {
 			durErr = s.dur.syncAppended(dsc)
+			m.stage[stSync][opcGroup].Observe(obs.Now() - execEnd)
 		}
 		s.dur.release(dsc)
 	}
@@ -213,9 +263,30 @@ func (s *Server) executeGroup(group []task) {
 			group[i].resp.Result = res
 		}
 	}
+	// Flight-record slow members before their requests are recycled. Flush
+	// has not happened yet, so the recorded total slightly undercounts (it
+	// omits the write-loop hand-off below); the per-stage fields make the
+	// undercount visible rather than misattributed.
+	flushStart := obs.Now()
+	if m.slowNS > 0 {
+		for i := range group {
+			t := &group[i]
+			if t.enq <= 0 {
+				continue
+			}
+			total := t.dec + (flushStart - t.enq)
+			if total < m.slowNS {
+				continue
+			}
+			kh, shard := s.flightKey(t.req)
+			m.recordFlight(t.req.Op, kh, shard, t.resp.Result.Status,
+				t.dec, start-t.enq, execEnd-start, flushStart-execEnd, 0, total)
+		}
+	}
 	for i := range group {
 		wire.ReleaseRequest(group[i].req)
 		group[i].c.send(group[i].resp)
 		group[i].c.retire(group[i].wshard)
 	}
+	m.stage[stFlush][opcGroup].Observe(obs.Now() - flushStart)
 }

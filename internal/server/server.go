@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"wtftm"
+	"wtftm/internal/obs"
 	"wtftm/internal/wal"
 	"wtftm/internal/wire"
 )
@@ -147,6 +148,15 @@ type Config struct {
 	// instrumentation expects every request to reach an executor).
 	DisableFastReads bool
 
+	// SlowMS is the flight-recorder threshold: a request slower than this
+	// end-to-end (decode through response hand-off, fsync wait included) is
+	// captured — op, key hash, shard, outcome, per-stage timings — in a
+	// fixed-size ring served at /debug/wtfd/slow and dumped by wtfd on
+	// SIGQUIT. 0 means the 20ms default; negative disables the recorder.
+	// The metrics registry itself (DebugHandler, the STATS latency
+	// section) is always on.
+	SlowMS int
+
 	// execHook, when non-nil, runs at the start of every request execution.
 	// Tests use it to hold requests in flight while exercising Drain.
 	execHook func(*wire.Request)
@@ -223,6 +233,7 @@ type Server struct {
 
 	ln    net.Listener
 	execs []*executor
+	m     *metrics      // observability registry wiring; always non-nil
 	rr    atomic.Uint32 // round-robin cursor for keyless requests
 	quit  chan struct{} // closed by Drain: stop admitting requests
 
@@ -276,6 +287,11 @@ type task struct {
 	// MULTI, wshardNone otherwise. Retiring the task lowers the matching
 	// watermark counter.
 	wshard int32
+	// enq is the admission timestamp (obs.Now, set right after decode) the
+	// queue-wait stage is measured from; dec is the frame's decode duration
+	// (both metrics.go).
+	enq int64
+	dec int64
 }
 
 // connBufSize sizes each connection's read and write buffers. 32 KiB keeps
@@ -313,6 +329,11 @@ type conn struct {
 	fastN         int64
 	fastRetryN    int64
 	fastFallbackN int64
+	// fastSeq free-runs across bursts to pick the 1-in-64 latency samples
+	// (fastN resets at every stats flush, so it cannot pace the sampler);
+	// stripe is this connection's histogram stripe hint.
+	fastSeq uint32
+	stripe  uint32
 
 	// Session watermark for the GET fast path (fastread.go): pendW[sh]
 	// counts this connection's admitted-but-unretired single-key writes to
@@ -346,6 +367,9 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.execs {
 		s.execs[i] = newExecutor(s, i)
 	}
+	// Metrics before durability: boot recovery replays through the STM and
+	// the durability layer records its barrier latencies.
+	s.m = newMetrics(s)
 	if cfg.DataDir != "" {
 		d, err := newDurability(s, cfg)
 		if err != nil {
@@ -412,6 +436,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		}
 		c := &conn{srv: s, nc: nc, out: make(chan *wire.Response, s.cfg.WriterQueue),
 			pendW: make([]atomic.Int32, s.cfg.Shards)}
+		c.stripe = uint32(s.connsOpened.Load()) // histogram stripe hint
 		c.bw = bufio.NewWriterSize(nc, connBufSize)
 		s.mu.Lock()
 		if s.draining.Load() {
@@ -559,6 +584,7 @@ func (c *conn) readLoop() {
 		// frame inflated it past the retention cap.
 		buf = wire.RecycleFrameBuf(payload)
 		req := wire.AcquireRequest()
+		decStart := obs.Now()
 		if err := wire.DecodeRequestInto(req, payload); err != nil {
 			// The stream is unparseable past this point (framing may be
 			// fine but we cannot trust it): answer if the ID header was
@@ -571,6 +597,9 @@ func (c *conn) readLoop() {
 			c.send(resp)
 			return
 		}
+		decEnd := obs.Now()
+		decNS := decEnd - decStart
+		s.m.stage[stDecode][opClass(req.Op)].ObserveStripe(c.stripe, decNS)
 		if s.draining.Load() {
 			c.unhold()
 			c.sendStatus(req, wire.StatusUnavailable)
@@ -595,7 +624,7 @@ func (c *conn) readLoop() {
 		s.inflight.Add(1)
 		depth := int64(len(ex.q)) + 1
 		select {
-		case ex.q <- task{c: c, req: req, wshard: wshard}:
+		case ex.q <- task{c: c, req: req, wshard: wshard, enq: decEnd, dec: decNS}:
 			atomicMax(&s.execQHWM, depth)
 		default:
 			// The run queue is full and the send below will block
@@ -608,7 +637,7 @@ func (c *conn) readLoop() {
 			// shared buffer too.)
 			c.flushFast()
 			select {
-			case ex.q <- task{c: c, req: req, wshard: wshard}:
+			case ex.q <- task{c: c, req: req, wshard: wshard, enq: decEnd, dec: decNS}:
 				atomicMax(&s.execQHWM, depth)
 			case <-s.quit:
 				c.retire(wshard)
@@ -724,6 +753,20 @@ func (c *conn) writeLoop() {
 	}
 }
 
+// stageRec collects the stage timings an execution path measures
+// internally: the caller (executeTask) knows the execution's total span
+// but not how much of it was spent waiting on the durability barrier.
+// A nil *stageRec disables the bookkeeping (bench harnesses).
+type stageRec struct {
+	syncNS int64 // durability barrier wait inside the execution span
+}
+
+func (sr *stageRec) addSync(ns int64) {
+	if sr != nil {
+		sr.syncNS += ns
+	}
+}
+
 // execute runs one request as one top-level transaction and fills in its
 // response. The response values are either immutable committed strings read
 // at the transaction's snapshot or freshly built server-side buffers, so
@@ -731,6 +774,11 @@ func (c *conn) writeLoop() {
 // synchronization (privatization safety; DESIGN.md §7). It never retains
 // req or its buffers past return, so the caller may release req afterwards.
 func (s *Server) execute(req *wire.Request, resp *wire.Response) {
+	s.executeSR(req, resp, nil)
+}
+
+// executeSR is execute with stage bookkeeping (metrics.go).
+func (s *Server) executeSR(req *wire.Request, resp *wire.Response, sr *stageRec) {
 	if s.cfg.execHook != nil {
 		s.cfg.execHook(req)
 	}
@@ -745,16 +793,16 @@ func (s *Server) execute(req *wire.Request, resp *wire.Response) {
 			s.dedupHits.Add(1)
 			return
 		}
-		s.executeOp(req, resp)
+		s.executeOp(req, resp, sr)
 		s.dedup.store(req.ClientID, req.Seq, resp)
 		return
 	}
-	s.executeOp(req, resp)
+	s.executeOp(req, resp, sr)
 }
 
 // executeOp dispatches one request to its handler (execute without the
 // dedup envelope handling).
-func (s *Server) executeOp(req *wire.Request, resp *wire.Response) {
+func (s *Server) executeOp(req *wire.Request, resp *wire.Response, sr *stageRec) {
 	switch req.Op {
 	case wire.OpPing:
 		resp.Result = wire.OKResult()
@@ -768,7 +816,7 @@ func (s *Server) executeOp(req *wire.Request, resp *wire.Response) {
 	case wire.OpGet, wire.OpPut, wire.OpDel, wire.OpCAS:
 		s.keysServed.Add(1)
 		if s.dur != nil && canWrite(req.Op) {
-			resp.Result = s.executeDurableSolo(req)
+			resp.Result = s.executeDurableSolo(req, sr)
 			return
 		}
 		var res wire.Result
@@ -781,7 +829,7 @@ func (s *Server) executeOp(req *wire.Request, resp *wire.Response) {
 		}
 		resp.Result = res
 	case wire.OpMulti:
-		s.executeMulti(req, resp)
+		s.executeMulti(req, resp, sr)
 	default:
 		resp.Result = wire.ErrResult(fmt.Sprintf("server: unsupported op %v", req.Op))
 	}
@@ -806,7 +854,7 @@ type multiScratch struct {
 // WO the futures overwhelmingly serialize at their submission points; under
 // SO each future additionally waits for its predecessor to settle — the
 // straggler behaviour the server experiment measures.
-func (s *Server) executeMulti(req *wire.Request, resp *wire.Response) {
+func (s *Server) executeMulti(req *wire.Request, resp *wire.Response, sr *stageRec) {
 	n := len(req.Batch)
 	s.multiBatches.Add(1)
 	s.keysServed.Add(int64(n))
@@ -893,7 +941,9 @@ func (s *Server) executeMulti(req *wire.Request, resp *wire.Response) {
 		}
 		s.dur.unlockShards(dsc)
 		if durErr == nil && err == nil {
+			syncStart := obs.Now()
 			durErr = s.dur.syncAppended(dsc)
+			sr.addSync(obs.Now() - syncStart)
 		}
 		s.dur.release(dsc)
 	}
@@ -937,7 +987,9 @@ func (s *Server) statsReply() wire.StatsReply {
 		walSec = s.dur.walStats(&s.cfg, time.Now().UnixNano())
 	}
 	return wire.StatsReply{
-		WAL: walSec,
+		WAL:     walSec,
+		Latency: s.m.latencySection(),
+		Aborts:  s.m.abortSection(e),
 		Server: wire.ServerStats{
 			Ordering:          s.sys.Options().Ordering.String(),
 			Atomicity:         s.sys.Options().Atomicity.String(),

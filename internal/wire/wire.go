@@ -956,6 +956,58 @@ type StatsReply struct {
 	STM    STMStats    `json:"stm"`
 	// WAL is the durability section; nil on a memory-only server.
 	WAL *WALStats `json:"wal,omitempty"`
+	// Latency carries per-stage latency histogram summaries (and the
+	// group-commit size distribution); empty on servers predating the
+	// observability layer.
+	Latency []LatencyStats `json:"latency,omitempty"`
+	// Aborts is the abort-attribution section; nil when unavailable.
+	Aborts *AbortStats `json:"aborts,omitempty"`
+}
+
+// LatencyStats is one histogram summary in a STATS reply. Quantiles are
+// upper bounds from a log-linear histogram with <= 6.25% relative bucket
+// error (see internal/obs). Durations are microseconds; the batch-size
+// histogram reports raw op counts in the same fields.
+type LatencyStats struct {
+	// Stage names the measured segment: "decode", "queue", "exec",
+	// "sync", "flush", "fastread", "fsync" or "batch_ops".
+	Stage string `json:"stage"`
+	// Op is the request class ("get", "put", "del", "cas", "multi",
+	// "group", "other"); empty for stages not split by op.
+	Op    string  `json:"op,omitempty"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+	// Hist is the compact binary bucket encoding (internal/obs
+	// AppendHist/DecodeHist), base64 in JSON, for consumers that want to
+	// merge or re-quantize rather than trust the summary.
+	Hist []byte `json:"hist,omitempty"`
+}
+
+// AbortStats attributes transaction aborts per validation direction, keyed
+// by the server's ordering/atomicity mode — the WO/SO x LAC/GAC cost
+// question from the paper as a stats section.
+type AbortStats struct {
+	// Mode is "<ordering>/<atomicity>", e.g. "WO/LAC".
+	Mode string `json:"mode"`
+	// Backward counts MV-STM read-set validation failures at top-level
+	// commit (a concurrent first committer won); BackwardByShard splits
+	// them by the store shard owning the stale box (the last entry
+	// aggregates boxes outside the keyspace).
+	Backward        int64   `json:"backward"`
+	BackwardByShard []int64 `json:"backward_by_shard,omitempty"`
+	// SOContinuation counts continuations killed by forward validation
+	// under strong ordering (futures won the prefix race).
+	SOContinuation int64 `json:"so_continuation"`
+	// FutureReexecs counts futures re-executed because their snapshot went
+	// stale before merge; EscapeReexecs the same for escaped futures under
+	// GAC.
+	FutureReexecs int64 `json:"future_reexecs"`
+	EscapeReexecs int64 `json:"escape_reexecs"`
 }
 
 // ServerStats are wtfd's own counters and configuration echo.

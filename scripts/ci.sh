@@ -84,9 +84,11 @@ if [ "$ALLOCS" -gt 2 ]; then
 fi
 echo "   BenchmarkServerEcho: ${ALLOCS} allocs/op (floor 2)"
 
-echo "== tier-1.5: GET fast-path allocation guard (0 allocs/op) =="
+echo "== tier-1.5: GET fast-path allocation guard (0 allocs/op, metrics enabled) =="
 # The lock-free read path's entire point is an allocation-free read-heavy
-# workload: a single alloc/op in the fast-serve loop is a regression.
+# workload: a single alloc/op in the fast-serve loop is a regression. The
+# benchmark server runs with the telemetry registry installed (it always is),
+# so this also proves the latency sampler stays off the heap.
 FALLOCS=$(go test -run '^$' -bench 'BenchmarkServerFastGet$' -benchtime 20000x -benchmem ./internal/server/ |
 	awk '/^BenchmarkServerFastGet/ { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }')
 if [ -z "$FALLOCS" ]; then
@@ -98,6 +100,24 @@ if [ "$FALLOCS" -gt 0 ]; then
 	exit 1
 fi
 echo "   BenchmarkServerFastGet: ${FALLOCS} allocs/op (floor 0)"
+
+echo "== tier-1.5: histogram record-path allocation guard (0 allocs/op) =="
+# obs.Histogram.Observe sits inside every serving stage (including the 33ns
+# fast-read sampler); it must never touch the heap.
+HALLOCS=$(go test -run '^$' -bench 'BenchmarkHistogramRecord$' -benchtime 20000x -benchmem ./internal/obs/ |
+	awk '/^BenchmarkHistogramRecord/ { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i-1) }')
+if [ -z "$HALLOCS" ]; then
+	echo "ci: BenchmarkHistogramRecord reported no allocs/op" >&2
+	exit 1
+fi
+if [ "$HALLOCS" -gt 0 ]; then
+	echo "ci: histogram record path allocates ${HALLOCS} allocs/op, floor is 0" >&2
+	exit 1
+fi
+echo "   BenchmarkHistogramRecord: ${HALLOCS} allocs/op (floor 0)"
+
+echo "== tier-1.5: observability endpoint smoke under race (/metrics + /debug/wtfd/slow on live traffic) =="
+go test -race -count=1 -run 'TestMetricsEndpoint|TestStatsWireSections|TestFlightRecorder' ./internal/server/
 
 echo "== tier-1.5: client GET round-trip allocation guard (<= 1 alloc/op) =="
 # Full loopback round trip via GetBytes: the only permitted allocation is
